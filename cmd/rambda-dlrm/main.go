@@ -1,0 +1,24 @@
+// rambda-dlrm runs the recommendation-inference evaluation of paper
+// Sec. VI-D (Fig. 13): MERCI-based embedding reduction on CPU core
+// sweeps and the RAMBDA accelerator variants over six Amazon
+// Review-like datasets.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rambda/internal/experiments"
+)
+
+func main() {
+	queries := flag.Int("queries", 20000, "queries per measurement")
+	rowScale := flag.Float64("rowscale", 0.25, "embedding table height scale")
+	seed := flag.Uint64("seed", 13, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.Fig13Config{
+		Queries: *queries, Dim: 64, RowScale: *rowScale, Seed: *seed,
+	}
+	fmt.Println(experiments.Fig13Table(cfg))
+}

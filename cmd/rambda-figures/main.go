@@ -1,0 +1,69 @@
+// rambda-figures regenerates every table and figure of the paper's
+// evaluation section on the simulated testbed.
+//
+// Usage:
+//
+//	go run ./cmd/rambda-figures              # everything
+//	go run ./cmd/rambda-figures -only fig8   # one experiment
+//	go run ./cmd/rambda-figures -quick       # smaller workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rambda/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability")
+	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
+	flag.Parse()
+
+	f7 := experiments.DefaultFig7Config()
+	kvs := experiments.DefaultKVSConfig()
+	f12 := experiments.DefaultFig12Config()
+	f13 := experiments.DefaultFig13Config()
+	fig1Requests := 20000
+	if *quick {
+		fig1Requests = 4000
+		f7.Nodes = 1 << 18
+		f7.Requests = 20000
+		kvs.Keys = 1 << 18
+		kvs.Requests = 15000
+		f12.Transactions = 4000
+		f13.Queries = 6000
+		f13.RowScale = 0.1
+	}
+
+	runs := []struct {
+		id string
+		fn func() *experiments.Table
+	}{
+		{"fig1", func() *experiments.Table { return experiments.Fig1Table(fig1Requests, 1) }},
+		{"fig5", func() *experiments.Table { return experiments.Fig5Table() }},
+		{"fig7", func() *experiments.Table { return experiments.Fig7Table(f7) }},
+		{"fig8", func() *experiments.Table { return experiments.Fig8Table(kvs) }},
+		{"fig9", func() *experiments.Table { return experiments.Fig9Table(kvs) }},
+		{"fig10", func() *experiments.Table { return experiments.Fig10Table(kvs) }},
+		{"tab3", func() *experiments.Table { return experiments.Tab3Table(kvs) }},
+		{"fig12", func() *experiments.Table { return experiments.Fig12Table(f12) }},
+		{"fig13", func() *experiments.Table { return experiments.Fig13Table(f13) }},
+		{"scalability", func() *experiments.Table { return experiments.ScalabilityTable(experiments.DefaultScalabilityConfig()) }},
+	}
+
+	matched := false
+	for _, r := range runs {
+		if *only != "" && !strings.EqualFold(*only, r.id) {
+			continue
+		}
+		matched = true
+		fmt.Println(r.fn())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,36 @@
+// rambda-kvs runs the in-memory key-value store evaluation of paper
+// Sec. VI-B: peak throughput (Fig. 8), latency (Fig. 9), the batch-size
+// sweep (Fig. 10), and power efficiency (Tab. III) across the CPU,
+// SmartNIC, and RAMBDA designs.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rambda/internal/experiments"
+)
+
+func main() {
+	keys := flag.Int("keys", 1<<20, "preloaded key-value pairs")
+	requests := flag.Int("requests", 60000, "requests per measurement")
+	batch := flag.Int("batch", 32, "peak-throughput batch size")
+	theta := flag.Float64("theta", 0.99, "Zipf skew")
+	sweep := flag.Bool("sweep", false, "also run the Fig. 10 batch sweep")
+	seed := flag.Uint64("seed", 8, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultKVSConfig()
+	cfg.Keys = *keys
+	cfg.Requests = *requests
+	cfg.Batch = *batch
+	cfg.ZipfTheta = *theta
+	cfg.Seed = *seed
+
+	fmt.Println(experiments.Fig8Table(cfg))
+	fmt.Println(experiments.Fig9Table(cfg))
+	fmt.Println(experiments.Tab3Table(cfg))
+	if *sweep {
+		fmt.Println(experiments.Fig10Table(cfg))
+	}
+}

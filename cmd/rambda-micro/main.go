@@ -1,0 +1,25 @@
+// rambda-micro runs the single-machine microbenchmark of paper
+// Sec. VI-A (Fig. 7): a permuted linked-list walk served by CPU cores,
+// the RAMBDA accelerator (cpoll and spin-polling variants), and the
+// local-memory projections, on DRAM and emulated NVM.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rambda/internal/experiments"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1<<20, "linked-list nodes (64 B each)")
+	requests := flag.Int("requests", 60000, "requests per configuration")
+	window := flag.Int("window", 16, "outstanding requests per connection")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.Fig7Config{
+		Nodes: *nodes, Requests: *requests, Window: *window, Seed: *seed,
+	}
+	fmt.Println(experiments.Fig7Table(cfg))
+}

@@ -1,0 +1,22 @@
+// rambda-tx runs the chain-replicated transaction evaluation of paper
+// Sec. VI-C (Fig. 12): RAMBDA's combined near-data transactions against
+// HyperLoop's sequential group-based RDMA operations on an emulated
+// two-replica NVM chain.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rambda/internal/experiments"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 20000, "preloaded key-value pairs per replica")
+	txs := flag.Int("txs", 20000, "transactions per measurement")
+	seed := flag.Uint64("seed", 12, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.Fig12Config{Pairs: *pairs, Transactions: *txs, Seed: *seed}
+	fmt.Println(experiments.Fig12Table(cfg))
+}

@@ -1,0 +1,3 @@
+module rambda
+
+go 1.22

@@ -1,0 +1,51 @@
+package accel
+
+import (
+	"testing"
+
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+func TestReadDataBlockingSerializes(t *testing.T) {
+	f, a := newFixture(false)
+	// Warm the TLB so the comparison is about the data path.
+	a.ReadData(0, f.dram.Base, 64)
+
+	// Pipelined reads: issue occupancy is a few cycles each, so N reads
+	// at t=0 complete far sooner than N serial round trips.
+	var pipelined sim.Time
+	for i := 0; i < 32; i++ {
+		done := a.ReadData(0, f.dram.Base+memspace.Addr(i*64), 64)
+		if done > pipelined {
+			pipelined = done
+		}
+	}
+
+	f2, a2 := newFixture(false)
+	a2.ReadData(0, f2.dram.Base, 64)
+	var blocking sim.Time
+	for i := 0; i < 32; i++ {
+		done := a2.ReadDataBlocking(0, f2.dram.Base+memspace.Addr(i*64), 64)
+		if done > blocking {
+			blocking = done
+		}
+	}
+	if blocking < 4*pipelined {
+		t.Fatalf("blocking reads (%v) must serialize far worse than pipelined (%v)", blocking, pipelined)
+	}
+	// Each blocking read holds the controller for half a round trip
+	// (~100ns), so 32 of them exceed 3us.
+	if blocking < 3*sim.Microsecond {
+		t.Fatalf("blocking=%v, want >= 3us for 32 serial round trips", blocking)
+	}
+}
+
+func TestReadDataBlockingLocalMemoryStillFast(t *testing.T) {
+	f, a := newFixture(true)
+	a.ReadData(0, f.local.Base, 64) // warm TLB
+	done := a.ReadDataBlocking(sim.Microsecond, f.local.Base, 256)
+	if done-sim.Microsecond > 400*sim.Nanosecond {
+		t.Fatalf("local blocking read=%v, should be one local access", done-sim.Microsecond)
+	}
+}

@@ -1,0 +1,86 @@
+package accel
+
+import (
+	"fmt"
+
+	"rambda/internal/cuckoo"
+)
+
+// FSMTable is the APU's table-based finite state machine for
+// outstanding requests (paper Sec. III-C, inspired by stateful
+// network-function accelerators): request state is stored in a cuckoo
+// hash table — the hardware structure the paper names — so every
+// transition is a constant two-bucket probe while many requests are in
+// flight out of order.
+type FSMTable struct {
+	capacity int
+	table    *cuckoo.Table[interface{}]
+
+	inserted, completed int64
+	peak                int
+}
+
+// NewFSMTable builds a table with the given slot count.
+func NewFSMTable(capacity int) *FSMTable {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FSMTable{capacity: capacity, table: cuckoo.New[interface{}](capacity)}
+}
+
+// Capacity returns the slot count.
+func (f *FSMTable) Capacity() int { return f.capacity }
+
+// InFlight returns the number of occupied slots.
+func (f *FSMTable) InFlight() int { return f.table.Len() }
+
+// Peak returns the maximum concurrent occupancy observed.
+func (f *FSMTable) Peak() int { return f.peak }
+
+// TryInsert claims a slot for request id with the given state. It
+// returns false when the table is full — either the configured
+// outstanding limit or a failed cuckoo path (both stall the scheduler
+// in hardware). It panics on duplicate ids.
+func (f *FSMTable) TryInsert(id uint64, state interface{}) bool {
+	if _, dup := f.table.Lookup(id); dup {
+		panic(fmt.Sprintf("accel: duplicate FSM id %d", id))
+	}
+	if f.table.Len() >= f.capacity {
+		return false
+	}
+	if !f.table.Insert(id, state) {
+		return false
+	}
+	f.inserted++
+	if f.table.Len() > f.peak {
+		f.peak = f.table.Len()
+	}
+	return true
+}
+
+// Lookup returns the state for id.
+func (f *FSMTable) Lookup(id uint64) (interface{}, bool) {
+	return f.table.Lookup(id)
+}
+
+// Update replaces the state for an in-flight id; it panics when the id
+// is unknown (an FSM transition for a request that was never admitted
+// is a hardware bug).
+func (f *FSMTable) Update(id uint64, state interface{}) {
+	if _, ok := f.table.Lookup(id); !ok {
+		panic(fmt.Sprintf("accel: FSM update for unknown id %d", id))
+	}
+	f.table.Insert(id, state)
+}
+
+// Complete releases the slot for id.
+func (f *FSMTable) Complete(id uint64) {
+	if !f.table.Delete(id) {
+		panic(fmt.Sprintf("accel: FSM complete for unknown id %d", id))
+	}
+	f.completed++
+}
+
+// Inserted and Completed report lifetime counters.
+func (f *FSMTable) Inserted() int64  { return f.inserted }
+func (f *FSMTable) Completed() int64 { return f.completed }

@@ -1,0 +1,116 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFSMLifecycle(t *testing.T) {
+	f := NewFSMTable(4)
+	if !f.TryInsert(1, "walking") {
+		t.Fatal("insert failed")
+	}
+	s, ok := f.Lookup(1)
+	if !ok || s != "walking" {
+		t.Fatal("lookup")
+	}
+	f.Update(1, "responding")
+	s, _ = f.Lookup(1)
+	if s != "responding" {
+		t.Fatal("update")
+	}
+	f.Complete(1)
+	if _, ok := f.Lookup(1); ok {
+		t.Fatal("completed id still present")
+	}
+	if f.Inserted() != 1 || f.Completed() != 1 {
+		t.Fatal("counters")
+	}
+}
+
+func TestFSMCapacityBound(t *testing.T) {
+	f := NewFSMTable(2)
+	if !f.TryInsert(1, nil) || !f.TryInsert(2, nil) {
+		t.Fatal("inserts under capacity failed")
+	}
+	if f.TryInsert(3, nil) {
+		t.Fatal("insert over capacity must fail")
+	}
+	f.Complete(1)
+	if !f.TryInsert(3, nil) {
+		t.Fatal("slot not released")
+	}
+	if f.Peak() != 2 {
+		t.Fatalf("peak=%d", f.Peak())
+	}
+}
+
+func TestFSMPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	f := NewFSMTable(4)
+	f.TryInsert(1, nil)
+	mustPanic("duplicate", func() { f.TryInsert(1, nil) })
+	mustPanic("update unknown", func() { f.Update(9, nil) })
+	mustPanic("complete unknown", func() { f.Complete(9) })
+}
+
+func TestFSMOccupancyInvariant(t *testing.T) {
+	// Property: InFlight == Inserted - Completed and never exceeds
+	// capacity under any op sequence.
+	f := func(ops []uint8) bool {
+		tbl := NewFSMTable(8)
+		next := uint64(0)
+		var live []uint64
+		for _, op := range ops {
+			if op%2 == 0 {
+				next++
+				if tbl.TryInsert(next, op) {
+					live = append(live, next)
+				}
+			} else if len(live) > 0 {
+				tbl.Complete(live[0])
+				live = live[1:]
+			}
+			if tbl.InFlight() > tbl.Capacity() {
+				return false
+			}
+			if int64(tbl.InFlight()) != tbl.Inserted()-tbl.Completed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	tlb := NewTLB(2, 1<<20)
+	tlb.Lookup(0)
+	tlb.Insert(0)
+	tlb.Lookup(1 << 20)
+	tlb.Insert(1 << 20)
+	// Touch page 0 so page 1 is LRU.
+	if !tlb.Lookup(100) {
+		t.Fatal("page 0 should hit")
+	}
+	tlb.Lookup(2 << 20)
+	tlb.Insert(2 << 20)
+	if tlb.Resident() != 2 {
+		t.Fatalf("resident=%d", tlb.Resident())
+	}
+	if tlb.Lookup(1 << 20) {
+		t.Fatal("LRU page should have been evicted")
+	}
+	if !tlb.Lookup(100) {
+		t.Fatal("MRU page must survive")
+	}
+}

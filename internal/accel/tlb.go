@@ -1,0 +1,68 @@
+package accel
+
+import "rambda/internal/memspace"
+
+// TLB is the coherence controller's translation lookaside buffer
+// (paper Fig. 4). The simulation uses a unified physical space, so
+// translation is identity; the TLB exists to charge page-walk costs
+// with an LRU over huge pages.
+type TLB struct {
+	entries   int
+	pageBytes uint64
+
+	// LRU as a map + monotonically increasing use stamps; sizes are
+	// small (hundreds of entries) so eviction scans are cheap.
+	stamp map[memspace.Addr]uint64
+	clock uint64
+
+	hits, misses int64
+}
+
+// NewTLB builds a TLB with the given capacity and page size.
+func NewTLB(entries int, pageBytes uint64) *TLB {
+	if entries <= 0 {
+		entries = 1
+	}
+	if pageBytes == 0 {
+		pageBytes = 2 << 20
+	}
+	return &TLB{entries: entries, pageBytes: pageBytes, stamp: make(map[memspace.Addr]uint64)}
+}
+
+func (t *TLB) page(addr memspace.Addr) memspace.Addr {
+	return addr / memspace.Addr(t.pageBytes)
+}
+
+// Lookup reports whether addr's page is resident, refreshing LRU state.
+func (t *TLB) Lookup(addr memspace.Addr) bool {
+	p := t.page(addr)
+	if _, ok := t.stamp[p]; ok {
+		t.clock++
+		t.stamp[p] = t.clock
+		t.hits++
+		return true
+	}
+	t.misses++
+	return false
+}
+
+// Insert fills addr's page, evicting the least recently used entry if
+// full.
+func (t *TLB) Insert(addr memspace.Addr) {
+	p := t.page(addr)
+	if len(t.stamp) >= t.entries {
+		var victim memspace.Addr
+		oldest := ^uint64(0)
+		for page, s := range t.stamp {
+			if s < oldest {
+				oldest, victim = s, page
+			}
+		}
+		delete(t.stamp, victim)
+	}
+	t.clock++
+	t.stamp[p] = t.clock
+}
+
+// Resident reports the number of cached translations.
+func (t *TLB) Resident() int { return len(t.stamp) }

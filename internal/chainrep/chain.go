@@ -1,0 +1,195 @@
+package chainrep
+
+import (
+	"errors"
+
+	"rambda/internal/memdev"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// ErrConflict reports that a transaction lost its concurrency-control
+// race and must retry (paper: conflicting transactions "will be
+// buffered in the queue in the order of arrival"; the serial evaluation
+// client never conflicts).
+var ErrConflict = errors.New("chainrep: key locked by an outstanding transaction")
+
+// NodeConfig sets a replica's processing costs.
+type NodeConfig struct {
+	Name string
+	// ProcDelay is the per-request processing time of the node's
+	// processing unit (the RAMBDA accelerator or the emulated
+	// HyperLoop RNIC firmware).
+	ProcDelay sim.Duration
+	// PerTupleDelay is the additional processing per write tuple
+	// (concurrency-control lookup, FSM transition).
+	PerTupleDelay sim.Duration
+}
+
+// Node is one replica: persistent data backend + redo log +
+// concurrency control.
+type Node struct {
+	cfg   NodeConfig
+	Store Backend
+	Log   *RedoLog
+	CC    *LockTable
+}
+
+// NewNode builds a replica inside the given space/memory system.
+func NewNode(space *memspace.Space, mem *memdev.System, cfg NodeConfig,
+	dataBytes uint64, logEntries, logEntrySize int) *Node {
+	return &Node{
+		cfg:   cfg,
+		Store: NewStore(space, mem, dataBytes),
+		Log:   NewRedoLog(space, mem, logEntries, logEntrySize),
+		CC:    NewLockTable(),
+	}
+}
+
+// applyTx runs the RAMBDA accelerator path at this node: concurrency
+// control, combined log append, then data writes.
+func (n *Node) applyTx(now sim.Time, writes []Tuple) (sim.Time, error) {
+	offsets := make([]uint32, len(writes))
+	for i, w := range writes {
+		offsets[i] = w.Offset
+	}
+	if !n.CC.TryAcquire(offsets) {
+		return now, ErrConflict
+	}
+	defer n.CC.Release(offsets)
+
+	at := now + n.cfg.ProcDelay + sim.Duration(len(writes))*n.cfg.PerTupleDelay
+	at = n.Log.Append(at, EncodeEntry(writes))
+	for _, w := range writes {
+		at = n.Store.Write(at, w.Offset, w.Data)
+	}
+	return at, nil
+}
+
+// applyHyperLoop runs the RNIC-firmware path for a single tuple: the
+// group-based RDMA write lands in the log and the data area directly,
+// with no concurrency control (HyperLoop's semantics cover one pair per
+// operation).
+func (n *Node) applyHyperLoop(now sim.Time, w Tuple) sim.Time {
+	at := now + n.cfg.ProcDelay
+	at = n.Log.Append(at, EncodeEntry([]Tuple{w}))
+	return n.Store.Write(at, w.Offset, w.Data)
+}
+
+// ReadOp is one read of a transaction.
+type ReadOp struct {
+	Offset uint32
+	Len    int
+}
+
+// Tx is a multi-operation transaction, e.g. the paper's (4 reads, 2
+// writes) representative workload.
+type Tx struct {
+	Reads  []ReadOp
+	Writes []Tuple
+}
+
+// Chain is the replication chain plus the emulated network topology of
+// Fig. 11: the client reaches the head over the datacenter link, and
+// replicas are bridged by the client SmartNIC's ARM routing (2-3 us per
+// hop in the paper's measurement).
+type Chain struct {
+	Nodes []*Node
+	// ClientOneWay is the client<->chain one-way latency (network +
+	// PCIe at each end).
+	ClientOneWay sim.Duration
+	// HopDelay is the inter-replica routing latency.
+	HopDelay sim.Duration
+	// WireBPS is the network bandwidth for payload serialization.
+	WireBPS float64
+}
+
+// wire returns the serialization delay of `bytes` on the chain's links.
+func (c *Chain) wire(bytes int) sim.Duration {
+	if c.WireBPS <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(bytes) / c.WireBPS * float64(sim.Second))
+}
+
+// ackBytes is the size of a chain ACK / client completion.
+const ackBytes = 32
+
+// RambdaTx executes a transaction with the RAMBDA protocol: the client
+// issues ONE combined request; the head's accelerator executes reads
+// and concurrency control, the combined log entry flows down the chain,
+// and the tail responds to the client (Fig. 11's path 1→2→3→4).
+func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err error) {
+	reqBytes := ackBytes
+	if len(tx.Writes) > 0 {
+		reqBytes = len(EncodeEntry(tx.Writes))
+	}
+	at := now + c.wire(reqBytes) + c.ClientOneWay
+	head := c.Nodes[0]
+
+	// Reads execute at the head (chain replication serves consistent
+	// reads from one end).
+	respBytes := ackBytes
+	for _, r := range tx.Reads {
+		var data []byte
+		data, at = head.Store.Read(at, r.Offset, r.Len)
+		vals = append(vals, data)
+		respBytes += r.Len
+	}
+
+	// Writes replicate down the chain (read-only transactions skip the
+	// chain entirely, like HyperLoop's direct reads).
+	if len(tx.Writes) > 0 {
+		for i, node := range c.Nodes {
+			if i > 0 {
+				at += c.HopDelay + c.wire(reqBytes)
+			}
+			at, err = node.applyTx(at, tx.Writes)
+			if err != nil {
+				return nil, now, err
+			}
+		}
+	}
+
+	done = at + c.wire(respBytes) + c.ClientOneWay
+	return vals, done, nil
+}
+
+// HyperLoopTx executes the same transaction with HyperLoop's
+// group-based primitives: every read is a one-sided RDMA read to the
+// head and every write tuple is a separate group operation traversing
+// the whole chain, all issued sequentially by the client (paper: "the
+// client needs to sequentially issue RDMA operations for each key-value
+// pair").
+func (c *Chain) HyperLoopTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time) {
+	at := now
+	head := c.Nodes[0]
+	for _, r := range tx.Reads {
+		at += c.ClientOneWay + c.wire(ackBytes) // read request
+		var data []byte
+		data, at = head.Store.Read(at, r.Offset, r.Len)
+		vals = append(vals, data)
+		at += c.ClientOneWay + c.wire(r.Len) // data back
+	}
+	for _, w := range tx.Writes {
+		entry := EncodeEntry([]Tuple{w})
+		at += c.ClientOneWay + c.wire(len(entry))
+		for i, node := range c.Nodes {
+			if i > 0 {
+				at += c.HopDelay + c.wire(len(entry))
+			}
+			at = node.applyHyperLoop(at, w)
+		}
+		at += c.ClientOneWay + c.wire(ackBytes) // group ACK
+	}
+	return vals, at
+}
+
+// ReadTx is a pure-read transaction: identical in both systems (one
+// one-sided RDMA read to the head), excluded from the paper's
+// comparison for that reason.
+func (c *Chain) ReadTx(now sim.Time, r ReadOp) ([]byte, sim.Time) {
+	at := now + c.ClientOneWay + c.wire(ackBytes)
+	data, at := c.Nodes[0].Store.Read(at, r.Offset, r.Len)
+	return data, at + c.ClientOneWay + c.wire(r.Len)
+}

@@ -1,0 +1,56 @@
+package chainrep
+
+// LockTable is the accelerator's concurrency control unit (paper
+// Sec. IV-B): a small hash table indexed by key (data-area offset).
+// A key touched by an outstanding transaction blocks later transactions
+// on the same key; blocked transactions queue in arrival order.
+type LockTable struct {
+	held    map[uint32]bool
+	waiting map[uint32]int // queued transactions per key
+
+	acquired, conflicts int64
+}
+
+// NewLockTable builds an empty table.
+func NewLockTable() *LockTable {
+	return &LockTable{held: make(map[uint32]bool), waiting: make(map[uint32]int)}
+}
+
+// TryAcquire atomically claims every offset for one transaction. On
+// conflict nothing is claimed and the transaction is counted as queued.
+func (l *LockTable) TryAcquire(offsets []uint32) bool {
+	for _, o := range offsets {
+		if l.held[o] {
+			l.conflicts++
+			l.waiting[o]++
+			return false
+		}
+	}
+	for _, o := range offsets {
+		l.held[o] = true
+	}
+	l.acquired++
+	return true
+}
+
+// Release frees every offset.
+func (l *LockTable) Release(offsets []uint32) {
+	for _, o := range offsets {
+		if !l.held[o] {
+			panic("chainrep: releasing an unheld lock")
+		}
+		delete(l.held, o)
+		if l.waiting[o] > 0 {
+			l.waiting[o]--
+			if l.waiting[o] == 0 {
+				delete(l.waiting, o)
+			}
+		}
+	}
+}
+
+// Held reports the number of locked keys.
+func (l *LockTable) Held() int { return len(l.held) }
+
+// Conflicts reports lifetime conflict count.
+func (l *LockTable) Conflicts() int64 { return l.conflicts }

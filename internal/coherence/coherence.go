@@ -1,0 +1,180 @@
+// Package coherence models the cache-coherence domain shared by the
+// CPU, the RNIC (via DDIO), and the cc-accelerator. It implements just
+// enough of a MESI-style protocol to support RAMBDA's cpoll mechanism
+// (paper Sec. III-B): an agent can *pin* (own) a set of cachelines, and
+// any write to a pinned line by another agent delivers an invalidation
+// signal to the owner — exactly once per ownership epoch, which is how
+// real coherence buses coalesce back-to-back writes to an
+// already-invalid line.
+//
+// Timing is charged by callers (the cc-link and controller models);
+// this package is functional.
+package coherence
+
+import (
+	"fmt"
+
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// AgentID identifies a coherence agent (CPU socket, cc-accelerator,
+// RNIC/DDIO).
+type AgentID int
+
+// Well-known agents in a RAMBDA machine.
+const (
+	AgentCPU AgentID = iota
+	AgentAccel
+	AgentNIC
+)
+
+// String names the agent.
+func (a AgentID) String() string {
+	switch a {
+	case AgentCPU:
+		return "cpu"
+	case AgentAccel:
+		return "accel"
+	case AgentNIC:
+		return "nic"
+	default:
+		return fmt.Sprintf("agent(%d)", int(a))
+	}
+}
+
+// Signal is an invalidation notice delivered to a line's owner when
+// another agent writes it (the Modified→Invalid transition the paper's
+// cpoll checker snoops).
+type Signal struct {
+	Addr   memspace.Addr // first invalidated line address
+	Bytes  int           // span of the triggering write
+	At     sim.Time
+	Writer AgentID
+}
+
+// SnoopFunc receives invalidation signals.
+type SnoopFunc func(Signal)
+
+// LineSize is the coherence granule.
+const LineSize = 64
+
+type lineState struct {
+	owner AgentID
+	valid bool // owner still holds the line (M/E); false = invalidated
+}
+
+// Domain is one machine's coherence domain.
+type Domain struct {
+	lines    map[memspace.Addr]*lineState // keyed by line-aligned address
+	snoopers map[AgentID]SnoopFunc
+
+	signals int64 // delivered invalidations
+	writes  int64
+}
+
+// NewDomain creates an empty coherence domain.
+func NewDomain() *Domain {
+	return &Domain{
+		lines:    make(map[memspace.Addr]*lineState),
+		snoopers: make(map[AgentID]SnoopFunc),
+	}
+}
+
+func lineAlign(a memspace.Addr) memspace.Addr {
+	return a &^ (LineSize - 1)
+}
+
+// SetSnooper installs the invalidation callback for an agent. The
+// callback runs synchronously from Write.
+func (d *Domain) SetSnooper(agent AgentID, fn SnoopFunc) {
+	d.snoopers[agent] = fn
+}
+
+// Pin gives agent ownership (M/E state) of every line in r. This models
+// the RAMBDA framework pinning the cpoll region into the
+// cc-accelerator's local cache so the coherence controller never evicts
+// it (paper Sec. III-E).
+func (d *Domain) Pin(agent AgentID, r memspace.Range) {
+	for a := lineAlign(r.Base); a < r.End(); a += LineSize {
+		d.lines[a] = &lineState{owner: agent, valid: true}
+	}
+}
+
+// Unpin releases ownership of every line in r.
+func (d *Domain) Unpin(r memspace.Range) {
+	for a := lineAlign(r.Base); a < r.End(); a += LineSize {
+		delete(d.lines, a)
+	}
+}
+
+// PinnedLines reports how many lines are currently tracked.
+func (d *Domain) PinnedLines() int { return len(d.lines) }
+
+// Write records a write by `writer` to [addr, addr+bytes). For every
+// covered line owned (and still valid) at another agent, ownership is
+// invalidated and a single Signal is delivered to that owner's snooper.
+// Lines already invalid deliver nothing — back-to-back writes coalesce
+// until the owner reacquires the line.
+func (d *Domain) Write(writer AgentID, addr memspace.Addr, bytes int, at sim.Time) {
+	d.writes++
+	if bytes <= 0 {
+		return
+	}
+	first := lineAlign(addr)
+	last := lineAlign(addr + memspace.Addr(bytes) - 1)
+	var delivered map[AgentID]bool
+	for a := first; ; a += LineSize {
+		if st, ok := d.lines[a]; ok && st.valid && st.owner != writer {
+			st.valid = false
+			if fn := d.snoopers[st.owner]; fn != nil {
+				// One signal per (owner, write): hardware coalesces the
+				// per-line invalidations of a single bus transaction.
+				if delivered == nil {
+					delivered = make(map[AgentID]bool, 1)
+				}
+				if !delivered[st.owner] {
+					delivered[st.owner] = true
+					d.signals++
+					fn(Signal{Addr: a, Bytes: bytes, At: at, Writer: writer})
+				}
+			}
+		}
+		if a == last {
+			break
+		}
+	}
+}
+
+// Reacquire restores agent ownership of the lines in [addr,
+// addr+bytes): the owner read the data (and, for cpoll, reset the
+// buffer entry), so its cache holds the lines again and the next remote
+// write will signal again.
+func (d *Domain) Reacquire(agent AgentID, addr memspace.Addr, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	first := lineAlign(addr)
+	last := lineAlign(addr + memspace.Addr(bytes) - 1)
+	for a := first; ; a += LineSize {
+		if st, ok := d.lines[a]; ok && st.owner == agent {
+			st.valid = true
+		}
+		if a == last {
+			break
+		}
+	}
+}
+
+// Owned reports whether agent currently holds a valid copy of the line
+// containing addr.
+func (d *Domain) Owned(agent AgentID, addr memspace.Addr) bool {
+	st, ok := d.lines[lineAlign(addr)]
+	return ok && st.owner == agent && st.valid
+}
+
+// Signals returns the number of invalidations delivered so far.
+func (d *Domain) Signals() int64 { return d.signals }
+
+// Writes returns the number of Write calls observed.
+func (d *Domain) Writes() int64 { return d.writes }

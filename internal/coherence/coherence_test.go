@@ -1,0 +1,182 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+func TestPinWriteSignals(t *testing.T) {
+	d := NewDomain()
+	var got []Signal
+	d.SetSnooper(AgentAccel, func(s Signal) { got = append(got, s) })
+	r := memspace.Range{Base: 0x1000, Size: 256}
+	d.Pin(AgentAccel, r)
+	if d.PinnedLines() != 4 {
+		t.Fatalf("pinned lines=%d, want 4", d.PinnedLines())
+	}
+
+	d.Write(AgentNIC, 0x1000, 64, 10*sim.Nanosecond)
+	if len(got) != 1 {
+		t.Fatalf("signals=%d, want 1", len(got))
+	}
+	if got[0].Writer != AgentNIC || got[0].Addr != 0x1000 {
+		t.Fatalf("signal %+v", got[0])
+	}
+	if d.Owned(AgentAccel, 0x1000) {
+		t.Fatal("line must be invalidated after remote write")
+	}
+}
+
+func TestCoalescingUntilReacquire(t *testing.T) {
+	d := NewDomain()
+	n := 0
+	d.SetSnooper(AgentAccel, func(Signal) { n++ })
+	d.Pin(AgentAccel, memspace.Range{Base: 0x1000, Size: 64})
+
+	d.Write(AgentNIC, 0x1000, 64, 0)
+	d.Write(AgentNIC, 0x1000, 64, 0) // coalesced: line already invalid
+	d.Write(AgentCPU, 0x1000, 64, 0) // still invalid, still coalesced
+	if n != 1 {
+		t.Fatalf("signals=%d, want 1 (coalescing)", n)
+	}
+
+	d.Reacquire(AgentAccel, 0x1000, 64)
+	if !d.Owned(AgentAccel, 0x1000) {
+		t.Fatal("reacquire failed")
+	}
+	d.Write(AgentNIC, 0x1000, 64, 0)
+	if n != 2 {
+		t.Fatalf("signals=%d, want 2 after reacquire", n)
+	}
+}
+
+func TestOwnWriteDoesNotSelfSignal(t *testing.T) {
+	d := NewDomain()
+	n := 0
+	d.SetSnooper(AgentAccel, func(Signal) { n++ })
+	d.Pin(AgentAccel, memspace.Range{Base: 0x2000, Size: 64})
+	d.Write(AgentAccel, 0x2000, 64, 0)
+	if n != 0 {
+		t.Fatal("owner's own write must not signal itself")
+	}
+	if !d.Owned(AgentAccel, 0x2000) {
+		t.Fatal("owner write must not invalidate its own line")
+	}
+}
+
+func TestMultiLineWriteSignalsOnce(t *testing.T) {
+	// A single bus transaction spanning several owned lines delivers one
+	// coalesced signal, not one per line.
+	d := NewDomain()
+	n := 0
+	d.SetSnooper(AgentAccel, func(Signal) { n++ })
+	d.Pin(AgentAccel, memspace.Range{Base: 0x1000, Size: 1024})
+	d.Write(AgentNIC, 0x1000, 512, 0)
+	if n != 1 {
+		t.Fatalf("signals=%d, want 1 for a multi-line write", n)
+	}
+	// All covered lines are invalid, the rest still owned.
+	if d.Owned(AgentAccel, 0x1000) || d.Owned(AgentAccel, 0x11c0) {
+		t.Fatal("covered lines must be invalid")
+	}
+	if !d.Owned(AgentAccel, 0x1200) {
+		t.Fatal("uncovered lines must stay owned")
+	}
+}
+
+func TestUnalignedWriteCoversItsLines(t *testing.T) {
+	d := NewDomain()
+	n := 0
+	d.SetSnooper(AgentAccel, func(Signal) { n++ })
+	d.Pin(AgentAccel, memspace.Range{Base: 0x1000, Size: 192})
+	// Write of 4 bytes at 0x103e touches lines 0x1000 and 0x1040.
+	d.Write(AgentNIC, 0x103e, 4, 0)
+	if d.Owned(AgentAccel, 0x1000) || d.Owned(AgentAccel, 0x1040) {
+		t.Fatal("both touched lines must be invalid")
+	}
+	if !d.Owned(AgentAccel, 0x1080) {
+		t.Fatal("untouched line must stay owned")
+	}
+	if n != 1 {
+		t.Fatalf("signals=%d", n)
+	}
+}
+
+func TestUnpin(t *testing.T) {
+	d := NewDomain()
+	r := memspace.Range{Base: 0x1000, Size: 128}
+	d.Pin(AgentAccel, r)
+	d.Unpin(r)
+	if d.PinnedLines() != 0 {
+		t.Fatal("unpin must drop lines")
+	}
+	n := 0
+	d.SetSnooper(AgentAccel, func(Signal) { n++ })
+	d.Write(AgentNIC, 0x1000, 64, 0)
+	if n != 0 {
+		t.Fatal("writes to unpinned lines must not signal")
+	}
+}
+
+func TestZeroByteWriteIsNoop(t *testing.T) {
+	d := NewDomain()
+	d.Pin(AgentAccel, memspace.Range{Base: 0x1000, Size: 64})
+	d.SetSnooper(AgentAccel, func(Signal) { t.Fatal("signal on 0-byte write") })
+	d.Write(AgentNIC, 0x1000, 0, 0)
+	d.Reacquire(AgentAccel, 0x1000, 0)
+}
+
+func TestSignalCountProperty(t *testing.T) {
+	// Property: the number of delivered signals over any write/reacquire
+	// interleaving never exceeds the number of remote writes, and after
+	// reacquiring everything a remote write always signals.
+	f := func(ops []uint8) bool {
+		d := NewDomain()
+		n := 0
+		d.SetSnooper(AgentAccel, func(Signal) { n++ })
+		d.Pin(AgentAccel, memspace.Range{Base: 0x1000, Size: 256})
+		remoteWrites := 0
+		for _, op := range ops {
+			line := memspace.Addr(0x1000 + uint64(op%4)*64)
+			if op%3 == 0 {
+				d.Reacquire(AgentAccel, line, 64)
+			} else {
+				d.Write(AgentNIC, line, 64, 0)
+				remoteWrites++
+			}
+		}
+		if n > remoteWrites {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			d.Reacquire(AgentAccel, memspace.Addr(0x1000+uint64(i)*64), 64)
+		}
+		before := n
+		d.Write(AgentNIC, 0x1000, 64, 0)
+		return n == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgentString(t *testing.T) {
+	if AgentCPU.String() != "cpu" || AgentAccel.String() != "accel" ||
+		AgentNIC.String() != "nic" || AgentID(9).String() == "" {
+		t.Fatal("agent names")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := NewDomain()
+	d.SetSnooper(AgentAccel, func(Signal) {})
+	d.Pin(AgentAccel, memspace.Range{Base: 0x1000, Size: 64})
+	d.Write(AgentNIC, 0x1000, 64, 0)
+	d.Write(AgentNIC, 0x1000, 64, 0)
+	if d.Writes() != 2 || d.Signals() != 1 {
+		t.Fatalf("writes=%d signals=%d", d.Writes(), d.Signals())
+	}
+}

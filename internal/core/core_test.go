@@ -1,0 +1,266 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rambda/internal/cpoll"
+	"rambda/internal/hostcpu"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// echoApp is a trivial APU: one data read + a few compute cycles, then
+// echo the payload back.
+func echoApp() App {
+	return AppFunc(func(ctx *AppCtx, now sim.Time, req []byte) ([]byte, sim.Time) {
+		t := ctx.Compute(now, 10)
+		return append([]byte("echo:"), req...), t
+	})
+}
+
+func newServerClient(t *testing.T, opts ServerOptions) (*Server, *Client) {
+	t.Helper()
+	sm := NewMachine(MachineConfig{Name: "srv", Variant: AccelBase})
+	cm := NewMachine(MachineConfig{Name: "cli"})
+	ConnectMachines(sm, cm)
+	s := NewServer(sm, echoApp(), opts)
+	return s, ConnectClient(cm, s, 0)
+}
+
+func smallOpts() ServerOptions {
+	o := DefaultServerOptions()
+	o.Connections = 4
+	o.RingEntries = 8
+	o.EntryBytes = 128
+	return o
+}
+
+func TestEndToEndRemoteCall(t *testing.T) {
+	s, c := newServerClient(t, smallOpts())
+	resp, done := c.Call(0, []byte("hello"))
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp=%q", resp)
+	}
+	// End-to-end must include two network one-ways (~3us) plus
+	// processing; and stay in the paper's µs range.
+	if done < 2*NetOneWay {
+		t.Fatalf("done=%v, faster than the wire", done)
+	}
+	if done > 100*sim.Microsecond {
+		t.Fatalf("done=%v, implausibly slow", done)
+	}
+	if s.Served() != 1 {
+		t.Fatal("served counter")
+	}
+	if s.Checker().Signals() == 0 {
+		t.Fatal("request did not travel through cpoll")
+	}
+}
+
+func TestSequentialCallsReuseRing(t *testing.T) {
+	_, c := newServerClient(t, smallOpts())
+	now := sim.Time(0)
+	for i := 0; i < 30; i++ { // > RingEntries: wraps several times
+		payload := []byte{byte(i), byte(i >> 8)}
+		resp, done := c.Call(now, payload)
+		if !bytes.Equal(resp[5:], payload) {
+			t.Fatalf("call %d: resp=%q", i, resp)
+		}
+		if done <= now {
+			t.Fatalf("call %d: time went backwards", i)
+		}
+		now = done
+	}
+}
+
+func TestDirectModeEndToEnd(t *testing.T) {
+	o := smallOpts()
+	o.Mode = cpoll.Direct
+	o.Connections = 2
+	o.RingEntries = 8
+	o.EntryBytes = 128 // 2*8*128 = 2KB <= 64KB cache
+	s, c := newServerClient(t, o)
+	resp, _ := c.Call(0, []byte("direct"))
+	if string(resp) != "echo:direct" {
+		t.Fatalf("resp=%q", resp)
+	}
+	if s.Checker().Mode() != cpoll.Direct {
+		t.Fatal("mode")
+	}
+}
+
+func TestPollingVariantSlowerThanCpoll(t *testing.T) {
+	run := func(notify NotifyMode) sim.Time {
+		o := smallOpts()
+		o.Notify = notify
+		_, c := newServerClient(t, o)
+		var last sim.Time
+		now := sim.Time(0)
+		for i := 0; i < 20; i++ {
+			_, last = c.Call(now, []byte("x"))
+			now = last
+		}
+		return last
+	}
+	cpollDone := run(NotifyCpoll)
+	pollDone := run(NotifyPolling)
+	if pollDone <= cpollDone {
+		t.Fatalf("polling (%v) must be slower than cpoll (%v)", pollDone, cpollDone)
+	}
+}
+
+func TestLocalClientCall(t *testing.T) {
+	sm := NewMachine(MachineConfig{Name: "srv", Variant: AccelBase})
+	s := NewServer(sm, echoApp(), smallOpts())
+	c := ConnectLocalClient(s, 1)
+	resp, done := c.Call(0, []byte("numa"))
+	if string(resp) != "echo:numa" {
+		t.Fatalf("resp=%q", resp)
+	}
+	// Intra-machine: far below network latency.
+	if done >= 2*NetOneWay {
+		t.Fatalf("local call=%v, should not pay network costs", done)
+	}
+	if !c.CanSend() {
+		t.Fatal("credit not returned")
+	}
+}
+
+func TestAccelVariantsDataPlacement(t *testing.T) {
+	ld := NewMachine(MachineConfig{Name: "ld", Variant: AccelLD, AccelLocalBytes: 1 << 20})
+	if ld.DataKind().String() != "accel-local" {
+		t.Fatal("LD data must be accel-local")
+	}
+	if ld.LocalRegion() == nil {
+		t.Fatal("LD local region missing")
+	}
+	base := NewMachine(MachineConfig{Name: "b", Variant: AccelBase})
+	if base.DataKind().String() != "dram" {
+		t.Fatal("base data must be DRAM")
+	}
+	if base.LocalRegion() != nil {
+		t.Fatal("base must have no local region")
+	}
+	none := NewMachine(MachineConfig{Name: "n"})
+	if none.Accel != nil {
+		t.Fatal("NoAccel machine has an accelerator")
+	}
+}
+
+func TestLDFasterThanBaseForDataHeavyApp(t *testing.T) {
+	// An app doing many data reads: LD (local memory) must beat base
+	// (all reads over UPI).
+	run := func(variant AccelVariant) sim.Time {
+		sm := NewMachine(MachineConfig{Name: "srv", Variant: variant, AccelLocalBytes: 1 << 20})
+		dataKind := sm.DataKind()
+		reg := sm.Space.Alloc("data", 1<<20, dataKind)
+		app := AppFunc(func(ctx *AppCtx, now sim.Time, req []byte) ([]byte, sim.Time) {
+			t := now
+			for i := 0; i < 16; i++ {
+				t = ctx.Read(t, reg.Base+memAddr(i*4096), 64)
+			}
+			return []byte("ok"), t
+		})
+		s := NewServer(sm, app, smallOpts())
+		c := ConnectLocalClient(s, 0)
+		var done sim.Time
+		now := sim.Time(0)
+		for i := 0; i < 10; i++ {
+			_, done = c.Call(now, []byte("r"))
+			now = done
+		}
+		return done
+	}
+	base, ldv := run(AccelBase), run(AccelLD)
+	if ldv >= base {
+		t.Fatalf("LD (%v) must beat base (%v) on data-heavy apps", ldv, base)
+	}
+}
+
+func TestCPUBaselineEndToEnd(t *testing.T) {
+	sm := NewMachine(MachineConfig{Name: "srv"})
+	cm := NewMachine(MachineConfig{Name: "cli"})
+	ConnectMachines(sm, cm)
+	dataReg := sm.Space.Alloc("data", 1<<20, sm.DataKind())
+	h := CPUHandler(func(req []byte) ([]byte, hostcpu.Work) {
+		return append([]byte("cpu:"), req...), hostcpu.Work{
+			Cycles: 200, Accesses: 3, AccessBytes: 64, Addr: dataReg.Base,
+		}
+	})
+	o := DefaultCPUServerOptions()
+	o.Connections = 2
+	o.RingEntries = 8
+	s := NewCPUServer(sm, h, o)
+	c := ConnectCPUClient(cm, s, 0)
+	resp, done := c.Call(0, []byte("req"))
+	if string(resp) != "cpu:req" {
+		t.Fatalf("resp=%q", resp)
+	}
+	if done < 2*NetOneWay || done > 100*sim.Microsecond {
+		t.Fatalf("done=%v out of plausible range", done)
+	}
+	if s.Served() != 1 {
+		t.Fatal("served")
+	}
+}
+
+func TestCPUBatchTradeoff(t *testing.T) {
+	// At an offered load that saturates the cores, bigger batches give
+	// higher throughput (cores stop stalling on dependent misses) at
+	// the cost of higher latency (batch formation).
+	run := func(batch int) (sim.Time, float64) {
+		sm := NewMachine(MachineConfig{Name: "srv"})
+		cm := NewMachine(MachineConfig{Name: "cli"})
+		ConnectMachines(sm, cm)
+		dataReg := sm.Space.Alloc("data", 1<<20, sm.DataKind())
+		h := CPUHandler(func(req []byte) ([]byte, hostcpu.Work) {
+			return []byte("ok"), hostcpu.Work{Cycles: 400, Accesses: 3, AccessBytes: 64, Addr: dataReg.Base}
+		})
+		o := DefaultCPUServerOptions()
+		o.Connections = 16
+		o.RingEntries = 64
+		o.Batch = batch
+		s := NewCPUServer(sm, h, o)
+		clients := make([]*CPUClient, o.Connections)
+		for i := range clients {
+			clients[i] = ConnectCPUClient(cm, s, i)
+		}
+		// HERD-style clients keep `batch` requests outstanding per
+		// connection — the batch size is the pipelining window.
+		res := sim.ClosedLoop{Clients: o.Connections * batch, PerClient: 30}.Run(
+			func(id int, issue sim.Time) sim.Time {
+				_, done := clients[id%o.Connections].Call(issue, []byte("q"))
+				return done
+			})
+		return res.Latency.Mean(), res.Throughput
+	}
+	lat1, tp1 := run(1)
+	lat32, tp32 := run(32)
+	if tp32 <= tp1 {
+		t.Fatalf("batching must raise throughput at saturation: %v vs %v", tp32, tp1)
+	}
+	if lat32 <= lat1 {
+		t.Fatalf("batching must raise latency: %v vs %v", lat32, lat1)
+	}
+}
+
+func TestInvokeCPURoundTrip(t *testing.T) {
+	sm := NewMachine(MachineConfig{Name: "srv", Variant: AccelBase})
+	ctx := &AppCtx{M: sm, A: sm.Accel}
+	done := ctx.InvokeCPU(0, 128, 1000)
+	// Two cc-link crossings + 1000 CPU cycles (500ns) minimum.
+	if done < 500*sim.Nanosecond+2*UPIHop {
+		t.Fatalf("InvokeCPU=%v too fast", done)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if NoAccel.String() != "none" || AccelBase.String() != "rambda" ||
+		AccelLD.String() != "rambda-ld" || AccelLH.String() != "rambda-lh" {
+		t.Fatal("variant names")
+	}
+}
+
+// memAddr is a tiny helper to keep address arithmetic readable.
+func memAddr(off int) memspace.Addr { return memspace.Addr(off) }

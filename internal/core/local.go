@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"rambda/internal/coherence"
+	"rambda/internal/memspace"
+	"rambda/internal/ringbuf"
+	"rambda/internal/sim"
+)
+
+// accelRespTransport delivers responses from the accelerator to a
+// response ring in the same machine's memory (the intra-machine half of
+// the unified abstraction): a coherent store over the cc-link instead
+// of an RDMA write.
+type accelRespTransport struct {
+	s *Server
+}
+
+// Deliver implements ringbuf.Transport.
+func (t accelRespTransport) Deliver(now sim.Time, entryAddr memspace.Addr, entry []byte,
+	ptrAddr memspace.Addr, ptrVal uint32) sim.Time {
+	if ptrAddr != 0 {
+		panic("core: local responses do not update pointer buffers")
+	}
+	return t.s.M.Accel.WriteData(now, entryAddr, entry)
+}
+
+// LocalClient feeds the server's rings from the same machine (the
+// microbenchmark's "CPU cores on the other NUMA node ... via shared
+// memory buffer", Sec. VI-A). Requests are coherent stores; responses
+// come back through a response ring in host memory.
+type LocalClient struct {
+	S    *Server
+	Idx  int
+	conn *ringbuf.Conn
+}
+
+// ConnectLocalClient establishes intra-machine connection idx.
+func ConnectLocalClient(s *Server, idx int) *LocalClient {
+	if idx < 0 || idx >= len(s.rings) {
+		panic("core: connection index out of range")
+	}
+	respReg := s.M.Space.Alloc(fmt.Sprintf("%s:local-resp-%d", s.M.Name, idx),
+		uint64(s.Opts.RingEntries*s.Opts.EntryBytes), memspace.KindDRAM)
+	respLayout := ringbuf.NewLayout(respReg.Range, s.Opts.RingEntries)
+
+	reqT := &ringbuf.LocalTransport{
+		Space: s.M.Space,
+		Mem:   s.M.Mem,
+		Coh:   s.M.Coh,
+		Agent: coherence.AgentCPU,
+	}
+	conn := ringbuf.NewConn(s.rings[idx].Layout, ringbuf.NewRing(s.M.Space, respLayout), reqT, s.PtrAddr(idx))
+	s.bindConn(idx, respLayout, accelRespTransport{s: s})
+	return &LocalClient{S: s, Idx: idx, conn: conn}
+}
+
+// CanSend reports flow-control credit.
+func (c *LocalClient) CanSend() bool { return c.conn.CanSend() }
+
+// Call sends one request at `now` and returns the response and its
+// visibility time in the response ring.
+func (c *LocalClient) Call(now sim.Time, payload []byte) ([]byte, sim.Time) {
+	arrive := c.conn.Send(now, payload)
+	resp, done := c.S.Serve(arrive, c.Idx)
+	if _, ok := c.conn.PollResponse(); !ok {
+		panic("core: local response missing")
+	}
+	return resp, done
+}

@@ -1,0 +1,93 @@
+// Package core assembles the RAMBDA system (paper Sec. III, Fig. 2):
+// machines composed of CPU, memory devices, coherence domain, RNIC and
+// optional cc-accelerator; the framework runtime that allocates ring
+// buffers, registers the cpoll region, and walks requests end to end;
+// and the CPU and SmartNIC baseline servers the evaluation compares
+// against.
+package core
+
+import "rambda/internal/sim"
+
+// Testbed constants from Tab. II and the calibration notes in
+// DESIGN.md. All experiments read their hardware parameters from here.
+const (
+	// Server CPU: 2x Intel Xeon Gold 6138P (one socket modeled; the
+	// second socket's cores act as clients in the microbenchmark).
+	CPUCores   = 20
+	CPUClockHz = 2.0e9
+
+	// Six DDR4-2666 channels.
+	DRAMChannels = 6
+	DRAMBW       = 128e9
+	DRAMLatency  = 90 * sim.Nanosecond
+
+	// Shared LLC (27.5 MB).
+	LLCBW      = 300e9
+	LLCLatency = 20 * sim.Nanosecond
+
+	// Emulated Optane NVM (Sec. VI-A: latency added and bandwidth
+	// throttled per recent Optane studies).
+	NVMDimms   = 6
+	NVMReadBW  = 39e9
+	NVMLatency = 300 * sim.Nanosecond
+	// Writes land in the DIMM controller's buffer, so their visible
+	// service cost is below the 3x steady-state bandwidth gap;
+	// calibrated against the paper's ~20% adaptive-DDIO gain.
+	NVMWriteCost = 2.0
+
+	// UPI link to the in-package FPGA: 10.4 GT/s = 20.8 GB/s.
+	UPIBW  = 20.8e9
+	UPIHop = 100 * sim.Nanosecond
+
+	// PCIe path between the RNIC and the host.
+	PCIeBW       = 16e9
+	PCIeProp     = 300 * sim.Nanosecond
+	PCIeMMIOCost = 400 * sim.Nanosecond
+
+	// 25 GbE RoCEv2 network.
+	NetBW     = 3.125e9
+	NetOneWay = 1500 * sim.Nanosecond
+
+	// cc-accelerator local-memory variants (Sec. V: U280 DDR4 ~36 GB/s,
+	// HBM2 ~425 GB/s; HBM trades bandwidth for higher access latency,
+	// which is why RAMBDA-LH's KVS latency exceeds RAMBDA-LD's in
+	// Fig. 9).
+	LDChannels = 2
+	LDBW       = 36e9
+	LDLatency  = 120 * sim.Nanosecond
+	LDPerOp    = 6 * sim.Nanosecond // random-access row/bank overhead
+	LHChannels = 32
+	LHBW       = 425e9
+	LHLatency  = 180 * sim.Nanosecond
+	LHPerOp    = 6 * sim.Nanosecond
+)
+
+// AccelVariant selects the accelerator configuration of a machine.
+type AccelVariant int
+
+const (
+	// NoAccel builds a plain server (CPU baseline or client machine).
+	NoAccel AccelVariant = iota
+	// AccelBase is the prototype: no local memory, all data over UPI.
+	AccelBase
+	// AccelLD adds U280-style local DDR4.
+	AccelLD
+	// AccelLH adds U280-style local HBM2.
+	AccelLH
+)
+
+// String names the variant.
+func (v AccelVariant) String() string {
+	switch v {
+	case NoAccel:
+		return "none"
+	case AccelBase:
+		return "rambda"
+	case AccelLD:
+		return "rambda-ld"
+	case AccelLH:
+		return "rambda-lh"
+	default:
+		return "variant?"
+	}
+}

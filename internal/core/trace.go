@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"rambda/internal/sim"
+)
+
+// Breakdown decomposes one request's end-to-end latency into the
+// framework's pipeline stages — the decomposition the paper's latency
+// discussions reason about (network vs notification vs UPI data access
+// vs response path).
+type Breakdown struct {
+	// Send is client issue -> request visible in server memory (client
+	// doorbell, wire, DMA landing).
+	Send sim.Duration
+	// Notify is arrival -> the accelerator holding the request (cpoll
+	// signal delivery + harvest, or the polling interval).
+	Notify sim.Duration
+	// Process is the APU's handling time (entry fetch, data accesses,
+	// compute).
+	Process sim.Duration
+	// Respond is APU completion -> response visible in client memory
+	// (SQ handler, doorbell, wire, DMA landing).
+	Respond sim.Duration
+}
+
+// Total sums the stages.
+func (b Breakdown) Total() sim.Duration {
+	return b.Send + b.Notify + b.Process + b.Respond
+}
+
+// String renders the stages compactly.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("send=%v notify=%v process=%v respond=%v (total %v)",
+		b.Send, b.Notify, b.Process, b.Respond, b.Total())
+}
+
+// LastBreakdown returns the stage decomposition of the most recently
+// served request. The simulation is single-threaded, so "last" is
+// well-defined; use it immediately after a Call.
+func (s *Server) LastBreakdown() Breakdown { return s.lastBreakdown }
+
+// sansSend clears the client-side stage (the server only sees the
+// other three).
+func (b Breakdown) sansSend() Breakdown {
+	b.Send = 0
+	return b
+}
+
+// CallTraced is Call plus the server-side stage breakdown.
+func (c *Client) CallTraced(now sim.Time, payload []byte) ([]byte, sim.Time, Breakdown) {
+	arrive := c.conn.Send(now, payload)
+	resp, done := c.Server.Serve(arrive, c.Idx)
+	if _, ok := c.conn.PollResponse(); !ok {
+		panic("core: response ring empty after serve")
+	}
+	b := c.Server.lastBreakdown
+	b.Send = arrive - now
+	return resp, done, b
+}

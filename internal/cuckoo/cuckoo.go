@@ -1,0 +1,179 @@
+// Package cuckoo implements the 4-way, two-choice cuckoo hash table
+// the RAMBDA APU uses for its outstanding-request state machine (paper
+// Sec. III-C: "the outstanding request status is stored in a TCAM or
+// cuckoo hash table for fast lookup"). Hardware implementations bound
+// every lookup to two bucket reads, which is what makes the FSM's
+// per-transition latency constant; this software model preserves that
+// structure: lookups probe exactly two buckets, inserts displace
+// entries along a bounded cuckoo path.
+package cuckoo
+
+import "fmt"
+
+const (
+	// SlotsPerBucket matches typical hardware cuckoo designs.
+	SlotsPerBucket = 4
+	// maxKicks bounds the displacement chain before the insert is
+	// declared failed (hardware would raise a table-full condition).
+	maxKicks = 64
+)
+
+// Table is a cuckoo hash table from uint64 keys to values of type V.
+type Table[V any] struct {
+	buckets [][]slot[V]
+	mask    uint64
+	n       int
+
+	kicks int64 // lifetime displacements (for tests/telemetry)
+}
+
+type slot[V any] struct {
+	occupied bool
+	key      uint64
+	val      V
+}
+
+// New creates a table with capacity for roughly `capacity` entries at a
+// practical load factor. Bucket count is rounded to a power of two.
+func New[V any](capacity int) *Table[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	// Target ~80% max load: buckets = capacity / (slots * 0.8).
+	nb := 1
+	for nb*SlotsPerBucket*4/5 < capacity {
+		nb <<= 1
+	}
+	b := make([][]slot[V], nb)
+	for i := range b {
+		b[i] = make([]slot[V], SlotsPerBucket)
+	}
+	return &Table[V]{buckets: b, mask: uint64(nb - 1)}
+}
+
+// The two hash functions: splitmix64 finalizers with distinct tweaks.
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Table[V]) h1(key uint64) uint64 { return mix(key) & t.mask }
+func (t *Table[V]) h2(key uint64) uint64 { return mix(key^0x9e3779b97f4a7c15) & t.mask }
+
+// Len returns the number of stored entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Kicks reports lifetime cuckoo displacements.
+func (t *Table[V]) Kicks() int64 { return t.kicks }
+
+// Lookup probes the key's two candidate buckets.
+func (t *Table[V]) Lookup(key uint64) (V, bool) {
+	for _, bi := range [2]uint64{t.h1(key), t.h2(key)} {
+		for i := range t.buckets[bi] {
+			if s := &t.buckets[bi][i]; s.occupied && s.key == key {
+				return s.val, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds or replaces key. It returns false when the table is full
+// (the bounded displacement chain failed to find a home).
+func (t *Table[V]) Insert(key uint64, val V) bool {
+	// Replace in place if present.
+	for _, bi := range [2]uint64{t.h1(key), t.h2(key)} {
+		for i := range t.buckets[bi] {
+			if s := &t.buckets[bi][i]; s.occupied && s.key == key {
+				s.val = val
+				return true
+			}
+		}
+	}
+	// Try an empty slot in either bucket.
+	for _, bi := range [2]uint64{t.h1(key), t.h2(key)} {
+		if t.placeInBucket(bi, key, val) {
+			t.n++
+			return true
+		}
+	}
+	// Displace along a cuckoo path, recording it so a failed insert can
+	// be rolled back without losing any resident entry.
+	type step struct {
+		bi uint64
+		si int
+	}
+	var path []step
+	curKey, curVal := key, val
+	bi := t.h1(key)
+	for kick := 0; kick < maxKicks; kick++ {
+		// Rotate victim slots so repeated kicks don't thrash one slot.
+		si := kick % SlotsPerBucket
+		s := &t.buckets[bi][si]
+		s.key, curKey = curKey, s.key
+		s.val, curVal = curVal, s.val
+		path = append(path, step{bi: bi, si: si})
+		t.kicks++
+		// Re-home the displaced entry in its alternate bucket.
+		alt := t.h1(curKey)
+		if alt == bi {
+			alt = t.h2(curKey)
+		}
+		if t.placeInBucket(alt, curKey, curVal) {
+			t.n++
+			return true
+		}
+		bi = alt
+	}
+	// Table full: undo the displacement chain in reverse, restoring the
+	// original contents exactly.
+	for i := len(path) - 1; i >= 0; i-- {
+		s := &t.buckets[path[i].bi][path[i].si]
+		s.key, curKey = curKey, s.key
+		s.val, curVal = curVal, s.val
+	}
+	if curKey != key {
+		panic(fmt.Sprintf("cuckoo: undo corrupted, recovered key %d != %d", curKey, key))
+	}
+	return false
+}
+
+func (t *Table[V]) placeInBucket(bi uint64, key uint64, val V) bool {
+	for i := range t.buckets[bi] {
+		if !t.buckets[bi][i].occupied {
+			t.buckets[bi][i] = slot[V]{occupied: true, key: key, val: val}
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table[V]) Delete(key uint64) bool {
+	for _, bi := range [2]uint64{t.h1(key), t.h2(key)} {
+		for i := range t.buckets[bi] {
+			if s := &t.buckets[bi][i]; s.occupied && s.key == key {
+				var zero slot[V]
+				t.buckets[bi][i] = zero
+				t.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Range calls fn for every entry until fn returns false.
+func (t *Table[V]) Range(fn func(key uint64, val V) bool) {
+	for bi := range t.buckets {
+		for i := range t.buckets[bi] {
+			if s := &t.buckets[bi][i]; s.occupied {
+				if !fn(s.key, s.val) {
+					return
+				}
+			}
+		}
+	}
+}

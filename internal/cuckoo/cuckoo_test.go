@@ -1,0 +1,161 @@
+package cuckoo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupDelete(t *testing.T) {
+	tb := New[string](64)
+	if !tb.Insert(1, "one") || !tb.Insert(2, "two") {
+		t.Fatal("insert")
+	}
+	v, ok := tb.Lookup(1)
+	if !ok || v != "one" {
+		t.Fatalf("lookup: %q %v", v, ok)
+	}
+	if _, ok := tb.Lookup(99); ok {
+		t.Fatal("phantom key")
+	}
+	tb.Insert(1, "uno")
+	v, _ = tb.Lookup(1)
+	if v != "uno" {
+		t.Fatal("replace failed")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len=%d", tb.Len())
+	}
+	if !tb.Delete(1) || tb.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len=%d after delete", tb.Len())
+	}
+}
+
+func TestHighLoadTriggersKicks(t *testing.T) {
+	tb := New[int](256)
+	inserted := 0
+	for i := uint64(0); i < 256; i++ {
+		if tb.Insert(i, int(i)) {
+			inserted++
+		}
+	}
+	if inserted < 250 {
+		t.Fatalf("inserted=%d of 256 at design load", inserted)
+	}
+	if tb.Kicks() == 0 {
+		t.Fatal("expected displacement activity at high load")
+	}
+	for i := uint64(0); i < uint64(inserted); i++ {
+		if v, ok := tb.Lookup(i); ok && v != int(i) {
+			t.Fatalf("key %d corrupted: %d", i, v)
+		}
+	}
+}
+
+func TestFullTableInsertFailsWithoutLoss(t *testing.T) {
+	tb := New[int](8) // tiny: buckets saturate quickly
+	var held []uint64
+	for i := uint64(0); i < 1000; i++ {
+		if tb.Insert(i, int(i)) {
+			held = append(held, i)
+		}
+	}
+	if len(held) == 1000 {
+		t.Skip("table never filled (hash spread too good at this size)")
+	}
+	// Every accepted key must still be present with its value.
+	for _, k := range held {
+		v, ok := tb.Lookup(k)
+		if !ok || v != int(k) {
+			t.Fatalf("accepted key %d lost or corrupted after failed inserts", k)
+		}
+	}
+	if tb.Len() != len(held) {
+		t.Fatalf("len=%d, held=%d", tb.Len(), len(held))
+	}
+}
+
+func TestRange(t *testing.T) {
+	tb := New[int](32)
+	for i := uint64(10); i < 20; i++ {
+		tb.Insert(i, int(i*2))
+	}
+	seen := map[uint64]int{}
+	tb.Range(func(k uint64, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 10 || seen[15] != 30 {
+		t.Fatalf("range saw %v", seen)
+	}
+	// Early termination.
+	n := 0
+	tb.Range(func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestModelEquivalenceProperty(t *testing.T) {
+	// The table must behave like a map under random ops (when inserts
+	// are accepted).
+	f := func(ops []uint16) bool {
+		tb := New[uint16](128)
+		model := map[uint64]uint16{}
+		for _, op := range ops {
+			key := uint64(op % 200)
+			switch op % 3 {
+			case 0:
+				if tb.Insert(key, op) {
+					model[key] = op
+				} else if _, inModel := model[key]; inModel {
+					return false // replace must never fail
+				}
+			case 1:
+				v, ok := tb.Lookup(key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 2:
+				_, mok := model[key]
+				if tb.Delete(key) != mok {
+					return false
+				}
+				delete(model, key)
+			}
+			if tb.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupProbesTwoBucketsOnly(t *testing.T) {
+	// Structural property of the hardware design: a key lives in one of
+	// exactly two buckets.
+	tb := New[int](512)
+	for i := uint64(0); i < 400; i++ {
+		tb.Insert(i, 1)
+	}
+	tb.Range(func(k uint64, _ int) bool {
+		found := false
+		for _, bi := range [2]uint64{tb.h1(k), tb.h2(k)} {
+			for i := range tb.buckets[bi] {
+				if tb.buckets[bi][i].occupied && tb.buckets[bi][i].key == k {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("key %d outside its two candidate buckets", k)
+		}
+		return true
+	})
+}

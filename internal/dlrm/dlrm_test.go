@@ -1,0 +1,326 @@
+package dlrm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+func smallCategory() Category {
+	return Category{
+		Name: "Test", Rows: 4096, BundleSize: 4,
+		BundlesPerQuery: 3, SinglesPerQuery: 5, BundleSkew: 0.9,
+	}
+}
+
+func buildModel(t *testing.T, withMemo bool) (*Model, *Dataset) {
+	t.Helper()
+	space := memspace.New()
+	rng := sim.NewRNG(11)
+	ds := NewDataset(smallCategory(), 7)
+	table := NewTable(space, "emb", ds.Cat.Rows, 64, memspace.KindDRAM, rng)
+	var memo *Memo
+	if withMemo {
+		memo = BuildMemo(space, "memo", table, ds.Bundles, table.Rows/4, memspace.KindDRAM, rng)
+	}
+	mlp := NewMLP(64, 32, rng)
+	return NewModel(table, memo, mlp, ds.Bundles), ds
+}
+
+func TestTableRowRoundTrip(t *testing.T) {
+	space := memspace.New()
+	table := NewTable(space, "t", 16, 8, memspace.KindDRAM, sim.NewRNG(1))
+	v := []float32{1, -2, 3.5, 0, 8, -0.25, 6, 7}
+	table.SetRow(3, v)
+	got := table.Row(3)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("row[%d]=%v, want %v", i, got[i], v[i])
+		}
+	}
+	if table.RowBytes() != 32 {
+		t.Fatal("row bytes")
+	}
+	if table.RowAddr(1)-table.RowAddr(0) != 32 {
+		t.Fatal("row stride")
+	}
+}
+
+func TestTableBounds(t *testing.T) {
+	space := memspace.New()
+	table := NewTable(space, "t", 4, 8, memspace.KindDRAM, sim.NewRNG(1))
+	for _, f := range []func(){
+		func() { table.RowAddr(4) },
+		func() { table.RowAddr(-1) },
+		func() { table.SetRow(0, []float32{1}) },
+	} {
+		func() {
+			defer func() { recover() }()
+			f()
+			t.Fatal("expected panic")
+		}()
+	}
+}
+
+func TestReduceOperators(t *testing.T) {
+	a := []float32{1, 5, -2}
+	b := []float32{3, 2, -7}
+
+	sum := make([]float32, 3)
+	Reduce(AggSum, sum, a, 1, true)
+	Reduce(AggSum, sum, b, 1, false)
+	if sum[0] != 4 || sum[1] != 7 || sum[2] != -9 {
+		t.Fatalf("sum=%v", sum)
+	}
+
+	max := make([]float32, 3)
+	Reduce(AggMax, max, a, 1, true)
+	Reduce(AggMax, max, b, 1, false)
+	if max[0] != 3 || max[1] != 5 || max[2] != -2 {
+		t.Fatalf("max=%v", max)
+	}
+
+	min := make([]float32, 3)
+	Reduce(AggMin, min, a, 1, true)
+	Reduce(AggMin, min, b, 1, false)
+	if min[0] != 1 || min[1] != 2 || min[2] != -7 {
+		t.Fatalf("min=%v", min)
+	}
+
+	dot := make([]float32, 3)
+	Reduce(AggDot, dot, a, 2, true)
+	Reduce(AggDot, dot, b, -1, false)
+	if dot[0] != -1 || dot[1] != 8 || dot[2] != 3 {
+		t.Fatalf("dot=%v", dot)
+	}
+}
+
+func TestMemoizedEqualsNative(t *testing.T) {
+	// The load-bearing MERCI property: memoized reduction returns
+	// exactly the native result.
+	mMemo, ds := buildModel(t, true)
+	mNative := NewModel(mMemo.Table, nil, mMemo.MLP, ds.Bundles)
+	for i := 0; i < 50; i++ {
+		q := ds.NextQuery()
+		_, accA, stA := mMemo.Infer(q, AggSum)
+		_, accB, stB := mNative.Infer(q, AggSum)
+		for j := range accA {
+			if math.Abs(float64(accA[j]-accB[j])) > 1e-3 {
+				t.Fatalf("query %d dim %d: memo %v vs native %v", i, j, accA[j], accB[j])
+			}
+		}
+		if stA.MemoHits == 0 {
+			t.Fatalf("query %d: no memo hits with full-budget memo", i)
+		}
+		if len(stA.Trace) >= len(stB.Trace) {
+			t.Fatalf("memoized trace (%d) not smaller than native (%d)", len(stA.Trace), len(stB.Trace))
+		}
+	}
+}
+
+func TestMemoBudgetLimitsHits(t *testing.T) {
+	space := memspace.New()
+	rng := sim.NewRNG(3)
+	ds := NewDataset(smallCategory(), 7)
+	table := NewTable(space, "emb", ds.Cat.Rows, 64, memspace.KindDRAM, rng)
+	// Tiny budget: only the first 8 bundles are memoized.
+	memo := BuildMemo(space, "memo", table, ds.Bundles, 8, memspace.KindDRAM, rng)
+	if memo.Memoized() != 8 {
+		t.Fatalf("memoized=%d", memo.Memoized())
+	}
+	if _, ok := memo.Lookup(7); !ok {
+		t.Fatal("hot bundle missing")
+	}
+	if _, ok := memo.Lookup(9); ok {
+		t.Fatal("cold bundle memoized past budget")
+	}
+}
+
+func TestMemoOverheadRatio(t *testing.T) {
+	m, _ := buildModel(t, true)
+	ratio := m.Memo.OverheadRatio(m.Table)
+	if ratio > 0.26 || ratio <= 0 {
+		t.Fatalf("overhead=%v, want <= 0.25 (paper's memo budget)", ratio)
+	}
+}
+
+func TestMemoBypassedForNonSumOps(t *testing.T) {
+	m, ds := buildModel(t, true)
+	q := ds.NextQuery()
+	_, _, st := m.Infer(q, AggMax)
+	if st.MemoHits != 0 {
+		t.Fatal("memoized partial sums must not serve max reductions")
+	}
+	if st.ReducedVectors != q.NumItems(ds.Cat.BundleSize) {
+		t.Fatalf("reduced=%d, want %d", st.ReducedVectors, q.NumItems(ds.Cat.BundleSize))
+	}
+}
+
+func TestInferTraceMatchesQueryShape(t *testing.T) {
+	m, ds := buildModel(t, false)
+	q := ds.NextQuery()
+	_, _, st := m.Infer(q, AggSum)
+	want := q.NumItems(ds.Cat.BundleSize)
+	if len(st.Trace) != want || st.ReducedVectors != want {
+		t.Fatalf("trace=%d reduced=%d, want %d", len(st.Trace), st.ReducedVectors, want)
+	}
+	for _, a := range st.Trace {
+		if a.Bytes != 256 { // dim 64 x 4B
+			t.Fatalf("access bytes=%d", a.Bytes)
+		}
+	}
+	if st.FLOPs <= 0 {
+		t.Fatal("FLOPs not counted")
+	}
+}
+
+func TestMLPDeterministicAndBounded(t *testing.T) {
+	rng := sim.NewRNG(5)
+	mlp := NewMLP(8, 4, rng)
+	x := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	s1, fl := mlp.Forward(x)
+	s2, _ := mlp.Forward(x)
+	if s1 != s2 {
+		t.Fatal("MLP must be deterministic")
+	}
+	if s1 <= 0 || s1 >= 1 {
+		t.Fatalf("sigmoid output %v out of (0,1)", s1)
+	}
+	if fl != 4*(2*8+2)+4 {
+		t.Fatalf("flops=%d", fl)
+	}
+}
+
+func TestDatasetQueriesInRange(t *testing.T) {
+	for _, cat := range AmazonCategories {
+		cat := cat
+		cat.Rows /= 100 // shrink for test speed
+		ds := NewDataset(cat, 42)
+		for i := 0; i < 20; i++ {
+			q := ds.NextQuery()
+			if len(q.Bundles) != cat.BundlesPerQuery || len(q.Singles) != cat.SinglesPerQuery {
+				t.Fatalf("%s: query shape %d/%d", cat.Name, len(q.Bundles), len(q.Singles))
+			}
+			for _, b := range q.Bundles {
+				if b < 0 || b >= len(ds.Bundles) {
+					t.Fatalf("%s: bundle %d out of range", cat.Name, b)
+				}
+			}
+			for _, s := range q.Singles {
+				if s < 0 || s >= cat.Rows {
+					t.Fatalf("%s: single %d out of range", cat.Name, s)
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := NewDataset(smallCategory(), 9)
+	b := NewDataset(smallCategory(), 9)
+	for i := 0; i < 10; i++ {
+		qa, qb := a.NextQuery(), b.NextQuery()
+		for j := range qa.Bundles {
+			if qa.Bundles[j] != qb.Bundles[j] {
+				t.Fatal("same seed, different queries")
+			}
+		}
+	}
+}
+
+func TestReducePropertySumCommutes(t *testing.T) {
+	// Sum reduction must be order-independent (up to float tolerance).
+	f := func(perm uint8) bool {
+		space := memspace.New()
+		table := NewTable(space, "t", 32, 16, memspace.KindDRAM, sim.NewRNG(2))
+		items := []int{1, 5, 9, 13, 21}
+		rot := int(perm) % len(items)
+		rotated := append(append([]int{}, items[rot:]...), items[:rot]...)
+
+		sum := func(order []int) []float32 {
+			acc := make([]float32, 16)
+			for i, it := range order {
+				Reduce(AggSum, acc, table.Row(it), 1, i == 0)
+			}
+			return acc
+		}
+		a, b := sum(items), sum(rotated)
+		for i := range a {
+			if math.Abs(float64(a[i]-b[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiModelConcatAndScore(t *testing.T) {
+	space := memspace.New()
+	cat := smallCategory()
+	cat.Rows = 1024
+	m, datasets := BuildMultiModel(space, memspace.KindDRAM, cat, 3, 16, 99)
+	if len(m.Tables) != 3 || m.MLP.Dim != 48 {
+		t.Fatalf("shape: tables=%d mlpDim=%d", len(m.Tables), m.MLP.Dim)
+	}
+	q := MultiQuery{}
+	for _, ds := range datasets {
+		q.PerTable = append(q.PerTable, ds.NextQuery())
+	}
+	score, st := m.Infer(q, AggSum)
+	if score <= 0 || score >= 1 {
+		t.Fatalf("score=%v", score)
+	}
+	if st.MemoHits == 0 {
+		t.Fatal("multi-table memoization never hit")
+	}
+	// Trace spans all three tables' address ranges.
+	inRange := make([]bool, 3)
+	for _, a := range st.Trace {
+		for i, table := range m.Tables {
+			if table.Range().Contains(a.Addr) || m.Memos[i].Table().Range().Contains(a.Addr) {
+				inRange[i] = true
+			}
+		}
+	}
+	for i, ok := range inRange {
+		if !ok {
+			t.Fatalf("table %d contributed no accesses", i)
+		}
+	}
+	// Determinism.
+	score2, _ := m.Infer(q, AggSum)
+	if score2 != score {
+		t.Fatal("multi-table inference must be deterministic")
+	}
+}
+
+func TestMultiModelValidation(t *testing.T) {
+	space := memspace.New()
+	rng := sim.NewRNG(1)
+	tbl := NewTable(space, "t", 64, 8, memspace.KindDRAM, rng)
+	mlp := NewMLP(8, 4, rng)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no tables", func() { NewMultiModel(nil, nil, mlp, nil) })
+	mustPanic("arity", func() {
+		NewMultiModel([]*Table{tbl}, []*Memo{nil, nil}, mlp, [][][]int{nil})
+	})
+	wrongMLP := NewMLP(16, 4, rng)
+	mustPanic("mlp dim", func() {
+		NewMultiModel([]*Table{tbl}, []*Memo{nil}, wrongMLP, [][][]int{nil})
+	})
+	m := NewMultiModel([]*Table{tbl}, []*Memo{nil}, mlp, [][][]int{{{1, 2}}})
+	mustPanic("query arity", func() { m.Infer(MultiQuery{}, AggSum) })
+}

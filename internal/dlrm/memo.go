@@ -1,0 +1,64 @@
+package dlrm
+
+import (
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// Memo is a MERCI-style memoization table: the precomputed sums of
+// frequently co-occurring item groups ("bundles"). A query's sub-query
+// that matches a memoized bundle costs one memory access instead of
+// one per item. The memo budget follows the paper's configuration:
+// memoization tables sized at 0.25x the original embedding table.
+type Memo struct {
+	table *Table
+	// rowFor maps bundle id -> memo row; only the hottest bundles fit
+	// the budget.
+	rowFor map[int]int
+}
+
+// BuildMemo precomputes bundle sums from src into a memo table of at
+// most budgetRows rows, memoizing bundles in the given order (callers
+// pass bundles hottest-first, as MERCI's clustering does). The memo
+// lives in the same memory kind as the source table.
+func BuildMemo(space *memspace.Space, name string, src *Table, bundles [][]int,
+	budgetRows int, kind memspace.Kind, rng *sim.RNG) *Memo {
+	if budgetRows <= 0 {
+		panic("dlrm: memo budget must be positive")
+	}
+	n := len(bundles)
+	if n > budgetRows {
+		n = budgetRows
+	}
+	if n == 0 {
+		panic("dlrm: no bundles to memoize")
+	}
+	memoTable := NewTable(space, name, n, src.Dim, kind, rng)
+	m := &Memo{table: memoTable, rowFor: make(map[int]int, n)}
+	for b := 0; b < n; b++ {
+		sum := make([]float32, src.Dim)
+		for i, item := range bundles[b] {
+			Reduce(AggSum, sum, src.Row(item), 1, i == 0)
+		}
+		memoTable.SetRow(b, sum)
+		m.rowFor[b] = b
+	}
+	return m
+}
+
+// Lookup returns the memo row for a bundle, if memoized.
+func (m *Memo) Lookup(bundle int) (int, bool) {
+	r, ok := m.rowFor[bundle]
+	return r, ok
+}
+
+// Table exposes the memo's backing table (for access traces).
+func (m *Memo) Table() *Table { return m.table }
+
+// Memoized reports how many bundles fit the budget.
+func (m *Memo) Memoized() int { return len(m.rowFor) }
+
+// OverheadRatio reports memo bytes relative to the source table.
+func (m *Memo) OverheadRatio(src *Table) float64 {
+	return float64(m.table.Rows*m.table.RowBytes()) / float64(src.Rows*src.RowBytes())
+}

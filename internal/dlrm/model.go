@@ -1,0 +1,130 @@
+package dlrm
+
+import (
+	"math"
+
+	"rambda/internal/sim"
+)
+
+// MLP is the dense part of the recommendation model: one hidden layer
+// with ReLU and a sigmoid output producing the click-through score. The
+// paper notes this compute is "relatively lightweight in the model",
+// which is why pure accelerator FLOPs don't rescue RAMBDA's DLRM
+// throughput (Sec. VI-D).
+type MLP struct {
+	Dim, Hidden int
+	w1          [][]float32 // [hidden][dim]
+	b1          []float32
+	w2          []float32 // [hidden]
+	b2          float32
+}
+
+// NewMLP builds a deterministic MLP.
+func NewMLP(dim, hidden int, rng *sim.RNG) *MLP {
+	if dim <= 0 || hidden <= 0 {
+		panic("dlrm: bad MLP shape")
+	}
+	m := &MLP{Dim: dim, Hidden: hidden}
+	m.w1 = make([][]float32, hidden)
+	for i := range m.w1 {
+		m.w1[i] = make([]float32, dim)
+		for j := range m.w1[i] {
+			m.w1[i][j] = float32(rng.Float64()*0.2 - 0.1)
+		}
+	}
+	m.b1 = make([]float32, hidden)
+	m.w2 = make([]float32, hidden)
+	for i := range m.w2 {
+		m.w2[i] = float32(rng.Float64()*0.2 - 0.1)
+	}
+	return m
+}
+
+// Forward computes the score for a reduced embedding vector and returns
+// the FLOP count.
+func (m *MLP) Forward(x []float32) (float32, int) {
+	if len(x) != m.Dim {
+		panic("dlrm: MLP input dimension mismatch")
+	}
+	var out float32
+	for i := 0; i < m.Hidden; i++ {
+		acc := m.b1[i]
+		for j := 0; j < m.Dim; j++ {
+			acc += m.w1[i][j] * x[j]
+		}
+		if acc > 0 { // ReLU
+			out += acc * m.w2[i]
+		}
+	}
+	out += m.b2
+	score := float32(1 / (1 + math.Exp(-float64(out))))
+	flops := m.Hidden*(2*m.Dim+2) + 4
+	return score, flops
+}
+
+// Model couples an embedding table, an optional MERCI memo, and the
+// dense layers.
+type Model struct {
+	Table *Table
+	Memo  *Memo // nil = native reduction
+	MLP   *MLP
+
+	bundles [][]int
+}
+
+// NewModel assembles a model over a dataset's table and bundles.
+func NewModel(table *Table, memo *Memo, mlp *MLP, bundles [][]int) *Model {
+	return &Model{Table: table, Memo: memo, MLP: mlp, bundles: bundles}
+}
+
+// InferStats describes one inference for the timing models.
+type InferStats struct {
+	// Trace is the embedding/memo gather (one entry per memory access).
+	Trace []Access
+	// MemoHits counts bundles served from the memo.
+	MemoHits int
+	// ReducedVectors is the number of vectors folded.
+	ReducedVectors int
+	// FLOPs is the dense-layer work.
+	FLOPs int
+}
+
+// Infer runs the embedding reduction (memoized when possible and when
+// the operator is a sum — memoized partial results only compose under
+// addition) followed by the MLP, returning the score.
+func (m *Model) Infer(q Query, op AggOp) (float32, []float32, InferStats) {
+	acc := make([]float32, m.Table.Dim)
+	var st InferStats
+	first := true
+
+	useMemo := m.Memo != nil && op == AggSum
+	for _, b := range q.Bundles {
+		if useMemo {
+			if row, ok := m.Memo.Lookup(b); ok {
+				mt := m.Memo.Table()
+				st.Trace = append(st.Trace, Access{Addr: mt.RowAddr(row), Bytes: mt.RowBytes()})
+				Reduce(AggSum, acc, mt.Row(row), 1, first)
+				first = false
+				st.MemoHits++
+				st.ReducedVectors++
+				continue
+			}
+		}
+		for _, item := range m.bundles[b] {
+			st.Trace = append(st.Trace, Access{Addr: m.Table.RowAddr(item), Bytes: m.Table.RowBytes()})
+			Reduce(op, acc, m.Table.Row(item), 1, first)
+			first = false
+			st.ReducedVectors++
+		}
+	}
+	for _, item := range q.Singles {
+		st.Trace = append(st.Trace, Access{Addr: m.Table.RowAddr(item), Bytes: m.Table.RowBytes()})
+		Reduce(op, acc, m.Table.Row(item), 1, first)
+		first = false
+		st.ReducedVectors++
+	}
+
+	score, flops := m.MLP.Forward(acc)
+	st.FLOPs = flops
+	return score, acc, st
+}

@@ -1,0 +1,94 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. VI) on the simulated testbed. Each FigN/TabN
+// function builds the full system from internal/core and the
+// application packages, drives the paper's workload, and returns both
+// structured rows (consumed by tests and benchmarks) and a rendered
+// text table (printed by cmd/rambda-figures). Paper-vs-measured
+// comparisons live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rambda/internal/core"
+	"rambda/internal/memdev"
+	"rambda/internal/memspace"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d cells, table %q has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f2, f1 and mops format numbers consistently across experiment tables.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func mops(v float64) string { return fmt.Sprintf("%.2f Mops", v/1e6) }
+
+// newHostMem builds a standalone host memory system at testbed
+// parameters (for models that sit outside a full core.Machine, like the
+// SmartNIC's host).
+func newHostMem(space *memspace.Space) *memdev.System {
+	return &memdev.System{
+		Space: space,
+		DRAM:  memdev.NewDRAM("host:dram", core.DRAMChannels, core.DRAMBW, core.DRAMLatency),
+		NVM:   memdev.NewNVM("host:nvm", core.NVMDimms, core.NVMReadBW, core.NVMLatency, core.NVMWriteCost),
+		LLC:   memdev.NewLLC("host:llc", core.LLCBW, core.LLCLatency),
+	}
+}

@@ -1,0 +1,156 @@
+// Package hostcpu models the server CPU of the paper's baselines: a
+// pool of beefy out-of-order cores sharing the host memory system,
+// processing RPC requests in batches (HERD/MICA-style two-sided RDMA
+// servers, and the CPU side of the microbenchmark and DLRM
+// experiments).
+//
+// The core model separates the two costs the paper's batching results
+// hinge on (Fig. 10): instruction-path work that occupies a core, and
+// memory accesses whose *bandwidth* is always charged but whose
+// *latency* is hidden in proportion to the batch factor (interleaving B
+// request chains on an out-of-order core overlaps their stalls).
+package hostcpu
+
+import (
+	"rambda/internal/memdev"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// Config describes the CPU pool.
+type Config struct {
+	Name    string
+	Cores   int
+	ClockHz float64
+}
+
+// CPU is a pool of cores attached to a host memory system.
+type CPU struct {
+	cfg   Config
+	cores *sim.Resource
+	mem   *memdev.System
+}
+
+// New builds the CPU pool. The cores resource is calibrated so one
+// "byte" of occupancy equals one core cycle.
+func New(cfg Config, mem *memdev.System) *CPU {
+	if cfg.Cores <= 0 || cfg.ClockHz <= 0 {
+		panic("hostcpu: bad config")
+	}
+	return &CPU{
+		cfg: cfg,
+		// One "byte" of occupancy = one cycle on one core.
+		cores: sim.NewResource(cfg.Name+":cores", cfg.Cores, 0, cfg.ClockHz, 0),
+		mem:   mem,
+	}
+}
+
+// Config returns the pool configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Cores exposes the core pool resource.
+func (c *CPU) Cores() *sim.Resource { return c.cores }
+
+// CycleTime returns one core clock period.
+func (c *CPU) CycleTime() sim.Duration {
+	return sim.Duration(float64(sim.Second) / c.cfg.ClockHz)
+}
+
+// Work describes the execution of one request on a core.
+type Work struct {
+	// Cycles is the instruction-path cost (parsing, hashing, RPC
+	// handling) occupying the core.
+	Cycles int
+	// Accesses is the number of memory accesses the request performs.
+	Accesses int
+	// AccessBytes is the size of each access.
+	AccessBytes int
+	// Addr routes the accesses to the right device (DRAM vs NVM).
+	Addr memspace.Addr
+	// Batch is the latency-hiding factor: how many independent request
+	// chains the core interleaves (1 = fully dependent pointer chase).
+	Batch int
+	// Parallel marks the accesses as independent of each other
+	// (gather), so they are all latency-overlapped regardless of Batch.
+	Parallel bool
+	// MLP caps how many parallel accesses one core keeps in flight
+	// (line-fill-buffer limit). Zero means unlimited; gathers larger
+	// than MLP proceed in waves.
+	MLP int
+	// DRAMFactor inflates the DRAM bandwidth charged per access for
+	// workloads whose random row-sized gathers waste activation
+	// bandwidth (DLRM embedding reduction). 0/1 = no inflation.
+	DRAMFactor float64
+}
+
+// Process walks one request through a core and the memory system,
+// returning its completion time.
+//
+// The memory phase is charged to the devices first (bandwidth and
+// queueing), then the core is occupied for the request's full visible
+// duration — instruction path plus memory stalls. A core blocked on a
+// dependent miss cannot serve other requests, which is exactly why
+// batching (which hides those stalls) multiplies CPU throughput in the
+// paper's Fig. 10.
+func (c *CPU) Process(now sim.Time, w Work) sim.Time {
+	overlap := w.Batch
+	if overlap < 1 {
+		overlap = 1
+	}
+	memEnd := now
+	if w.Accesses > 0 {
+		if w.Parallel {
+			// Gather: accesses overlap in waves of MLP (unbounded when
+			// MLP is zero); completion is the last wave's max.
+			wave := w.MLP
+			if wave <= 0 || wave > w.Accesses {
+				wave = w.Accesses
+			}
+			at := now
+			for issued := 0; issued < w.Accesses; issued += wave {
+				n := wave
+				if issued+n > w.Accesses {
+					n = w.Accesses - issued
+				}
+				var waveEnd sim.Time
+				for i := 0; i < n; i++ {
+					done := c.access(at, w, maxInt(overlap, n))
+					if done > waveEnd {
+						waveEnd = done
+					}
+				}
+				at = waveEnd
+			}
+			memEnd = at
+		} else {
+			// Dependent chain: accesses serialize, stalls overlapped by
+			// the batch factor.
+			at := now
+			for i := 0; i < w.Accesses; i++ {
+				at = c.access(at, w, overlap)
+			}
+			memEnd = at
+		}
+	}
+	stallCycles := int(float64(memEnd-now) / float64(sim.Second) * c.cfg.ClockHz)
+	_, done := c.cores.Acquire(now, w.Cycles+stallCycles)
+	return done
+}
+
+func (c *CPU) access(now sim.Time, w Work, overlap int) sim.Time {
+	if c.mem.Space.KindOf(w.Addr) == memspace.KindNVM {
+		return c.mem.NVM.ReadOverlapped(now, w.AccessBytes, overlap)
+	}
+	bytes := w.AccessBytes
+	if w.DRAMFactor > 1 {
+		bytes = int(float64(bytes) * w.DRAMFactor)
+	}
+	return c.mem.DRAM.AccessOverlapped(now, bytes, overlap)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package hostcpu
+
+import (
+	"testing"
+
+	"rambda/internal/memdev"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+func newMem() (*memdev.System, *memspace.Region, *memspace.Region) {
+	space := memspace.New()
+	dram := space.Alloc("data", 1<<20, memspace.KindDRAM)
+	nvm := space.Alloc("pmem", 1<<20, memspace.KindNVM)
+	return &memdev.System{
+		Space: space,
+		DRAM:  memdev.NewDRAM("dram", 6, 120e9, 90*sim.Nanosecond),
+		NVM:   memdev.NewNVM("nvm", 6, 39e9, 300*sim.Nanosecond, 3),
+		LLC:   memdev.NewLLC("llc", 300e9, 20*sim.Nanosecond),
+	}, dram, nvm
+}
+
+func TestProcessPureCompute(t *testing.T) {
+	mem, _, _ := newMem()
+	c := New(Config{Name: "cpu", Cores: 2, ClockHz: 2e9}, mem)
+	// 2000 cycles at 2GHz = 1us.
+	if done := c.Process(0, Work{Cycles: 2000}); done != sim.Microsecond {
+		t.Fatalf("done=%v, want 1us", done)
+	}
+	if c.CycleTime() != 500*sim.Picosecond {
+		t.Fatalf("cycle=%v", c.CycleTime())
+	}
+}
+
+func TestCorePoolSaturates(t *testing.T) {
+	mem, _, _ := newMem()
+	c := New(Config{Name: "cpu", Cores: 2, ClockHz: 2e9}, mem)
+	var done sim.Time
+	for i := 0; i < 4; i++ {
+		done = c.Process(0, Work{Cycles: 2000})
+	}
+	// 4 ops on 2 cores: 2us.
+	if done != 2*sim.Microsecond {
+		t.Fatalf("done=%v, want 2us", done)
+	}
+}
+
+func TestDependentChainVsBatched(t *testing.T) {
+	mem, dram, _ := newMem()
+	c := New(Config{Name: "cpu", Cores: 1, ClockHz: 2e9}, mem)
+	w := Work{Cycles: 100, Accesses: 3, AccessBytes: 64, Addr: dram.Base, Batch: 1}
+	serial := c.Process(0, w)
+
+	mem2, dram2, _ := newMem()
+	c2 := New(Config{Name: "cpu", Cores: 1, ClockHz: 2e9}, mem2)
+	w2 := Work{Cycles: 100, Accesses: 3, AccessBytes: 64, Addr: dram2.Base, Batch: 16}
+	batched := c2.Process(0, w2)
+
+	if batched >= serial {
+		t.Fatalf("batched (%v) must beat the dependent chain (%v)", batched, serial)
+	}
+	// Serial chain is dominated by 3 x 90ns latency.
+	if serial < 270*sim.Nanosecond {
+		t.Fatalf("serial=%v, want >= 270ns", serial)
+	}
+}
+
+func TestParallelGatherOverlaps(t *testing.T) {
+	mem, dram, _ := newMem()
+	c := New(Config{Name: "cpu", Cores: 1, ClockHz: 2e9}, mem)
+	gather := c.Process(0, Work{Accesses: 32, AccessBytes: 64, Addr: dram.Base, Parallel: true})
+
+	mem2, dram2, _ := newMem()
+	c2 := New(Config{Name: "cpu", Cores: 1, ClockHz: 2e9}, mem2)
+	chain := c2.Process(0, Work{Accesses: 32, AccessBytes: 64, Addr: dram2.Base, Batch: 1})
+	if gather >= chain {
+		t.Fatalf("gather (%v) must beat pointer chase (%v)", gather, chain)
+	}
+}
+
+func TestNVMRouting(t *testing.T) {
+	mem, _, nvm := newMem()
+	c := New(Config{Name: "cpu", Cores: 1, ClockHz: 2e9}, mem)
+	c.Process(0, Work{Accesses: 1, AccessBytes: 64, Addr: nvm.Base, Batch: 1})
+	if mem.NVM.Resource().Ops() != 1 {
+		t.Fatal("NVM access not routed")
+	}
+	if mem.DRAM.Resource().Ops() != 0 {
+		t.Fatal("DRAM charged for an NVM access")
+	}
+}
+
+func TestMemoryBandwidthSharedAcrossCores(t *testing.T) {
+	// Many cores hammering memory must be limited by DRAM bandwidth,
+	// not core count: compare 8 vs 16 cores under a bandwidth-bound
+	// gather workload sized to saturate 120GB/s.
+	run := func(cores int) float64 {
+		mem, dram, _ := newMem()
+		c := New(Config{Name: "cpu", Cores: cores, ClockHz: 2e9}, mem)
+		res := sim.ClosedLoop{Clients: cores * 4, PerClient: 300}.Run(
+			func(_ int, issue sim.Time) sim.Time {
+				return c.Process(issue, Work{
+					Cycles: 50, Accesses: 64, AccessBytes: 512,
+					Addr: dram.Base, Parallel: true,
+				})
+			})
+		return res.Throughput
+	}
+	t8, t16 := run(8), run(16)
+	if t16 > 1.3*t8 {
+		t.Fatalf("16 cores (%.0f) should not scale past memory bandwidth (8 cores: %.0f)", t16, t8)
+	}
+}
+
+func TestComputeScalesLinearly(t *testing.T) {
+	run := func(cores int) float64 {
+		mem, _, _ := newMem()
+		c := New(Config{Name: "cpu", Cores: cores, ClockHz: 2e9}, mem)
+		res := sim.ClosedLoop{Clients: cores, PerClient: 200}.Run(
+			func(_ int, issue sim.Time) sim.Time {
+				return c.Process(issue, Work{Cycles: 1000})
+			})
+		return res.Throughput
+	}
+	t1, t8 := run(1), run(8)
+	if t8 < 7.5*t1 {
+		t.Fatalf("8 cores = %.0f, want ~8x of %.0f", t8, t1)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	mem, _, _ := newMem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Cores: 0, ClockHz: 1}, mem)
+}

@@ -1,0 +1,186 @@
+// Package interconnect models the three link types a RAMBDA server
+// spans: the PCIe link between the RNIC and the host (with TLP framing
+// and the TPH header bit used by adaptive DDIO), the cache-coherent
+// off-chip interconnect (UPI on the paper's prototype, CXL in its
+// future-platform projection), and the datacenter Ethernet/RoCE link.
+package interconnect
+
+import "rambda/internal/sim"
+
+// PCIe models one direction of a PCIe endpoint's link. DMA transfers
+// are split into TLPs with per-packet header overhead; MMIO writes
+// (doorbells) are small posted writes with high effective latency.
+type PCIe struct {
+	res *sim.Resource
+
+	// TLPHeader is the per-packet framing overhead in bytes (PCIe
+	// TLP header + DLLP/framing, ~24 B for a 3-DW header with ECRC).
+	TLPHeader int
+	// MaxPayload is the maximum TLP payload (256 B on the modeled
+	// platform).
+	MaxPayload int
+	// MMIOCost is the end-to-end latency of an uncached MMIO register
+	// write including the surrounding store fence.
+	MMIOCost sim.Duration
+}
+
+// NewPCIe builds one PCIe direction with the given bandwidth and
+// propagation latency.
+func NewPCIe(name string, bytesPerSec float64, propagation sim.Duration, mmioCost sim.Duration) *PCIe {
+	return &PCIe{
+		res:        sim.NewResource(name, 1, 0, bytesPerSec, propagation),
+		TLPHeader:  24,
+		MaxPayload: 256,
+		MMIOCost:   mmioCost,
+	}
+}
+
+// packets returns the number of TLPs needed for a payload.
+func (p *PCIe) packets(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + p.MaxPayload - 1) / p.MaxPayload
+}
+
+// DMA schedules a DMA transfer of `bytes` across the link, returning
+// the time the last TLP arrives.
+func (p *PCIe) DMA(now sim.Time, bytes int) sim.Time {
+	wire := bytes + p.packets(bytes)*p.TLPHeader
+	_, done := p.res.Acquire(now, wire)
+	return done
+}
+
+// MMIOWrite schedules a doorbell/register write (a small posted write
+// whose cost is dominated by ordering fences and the non-posted-like
+// serialization at the device).
+func (p *PCIe) MMIOWrite(now sim.Time) sim.Time {
+	_, done := p.res.Acquire(now, p.TLPHeader+8)
+	return done + p.MMIOCost
+}
+
+// Resource exposes the underlying link queue.
+func (p *PCIe) Resource() *sim.Resource { return p.res }
+
+// TLP is a single PCIe packet as seen by the adaptive-DDIO logic: the
+// only field the mechanism reads is the TPH bit (paper Sec. III-D: "the
+// 16th bit in the PCIe header").
+type TLP struct {
+	TPH     bool
+	Payload int
+}
+
+// CCLink models the cache-coherent interconnect between the CPU and the
+// cc-accelerator (one UPI link at 10.4 GT/s ≈ 20.8 GB/s on the
+// prototype). Transfers move whole 64 B cachelines; the per-transfer
+// propagation is the cross-socket coherence hop latency.
+type CCLink struct {
+	res *sim.Resource
+}
+
+// NewCCLink builds the cc-link with aggregate bandwidth and hop
+// latency.
+func NewCCLink(name string, bytesPerSec float64, hop sim.Duration) *CCLink {
+	return &CCLink{res: sim.NewResource(name, 1, 0, bytesPerSec, hop)}
+}
+
+// Transfer schedules a cacheline-granular transfer and returns its
+// arrival time.
+func (l *CCLink) Transfer(now sim.Time, bytes int) sim.Time {
+	lines := (bytes + 63) / 64
+	if lines < 1 {
+		lines = 1
+	}
+	_, done := l.res.Acquire(now, lines*64)
+	return done
+}
+
+// Resource exposes the underlying link queue.
+func (l *CCLink) Resource() *sim.Resource { return l.res }
+
+// NetLink models one direction of the datacenter network path between
+// two machines: an Ethernet/RoCEv2 link with per-packet header
+// overhead and one-way propagation (half the base RTT, including switch
+// and NIC pipeline latency).
+//
+// For failure injection, a deterministic loss process can be enabled
+// with InjectLoss: lost packets are retransmitted by the RC transport
+// after a retransmission timeout, so delivery stays reliable (the RDMA
+// guarantee) while tail latency inflates — the behaviour congested or
+// lossy RoCE fabrics exhibit.
+type NetLink struct {
+	res *sim.Resource
+
+	// HeaderBytes is the per-packet wire overhead (Ethernet + IP + UDP
+	// + BTH + ICRC + preamble/IFG ≈ 90 B for RoCEv2).
+	HeaderBytes int
+	// MTU is the maximum payload per packet.
+	MTU int
+
+	lossRate float64
+	rto      sim.Duration
+	rng      *sim.RNG
+	lost     int64
+}
+
+// NewNetLink builds one network direction with the given wire bandwidth
+// and one-way latency.
+func NewNetLink(name string, bytesPerSec float64, oneWay sim.Duration) *NetLink {
+	return &NetLink{
+		res:         sim.NewResource(name, 1, 0, bytesPerSec, oneWay),
+		HeaderBytes: 90,
+		MTU:         4096,
+	}
+}
+
+// InjectLoss enables the loss process: each transmission attempt drops
+// with probability rate and is retried after rto.
+func (n *NetLink) InjectLoss(rate float64, rto sim.Duration, seed uint64) {
+	if rate < 0 || rate >= 1 {
+		panic("interconnect: loss rate must be in [0, 1)")
+	}
+	n.lossRate = rate
+	n.rto = rto
+	n.rng = sim.NewRNG(seed)
+}
+
+// Lost reports dropped transmission attempts.
+func (n *NetLink) Lost() int64 { return n.lost }
+
+// Send schedules a message of `bytes` payload and returns its arrival
+// time at the far end.
+func (n *NetLink) Send(now sim.Time, bytes int) sim.Time {
+	if bytes < 0 {
+		bytes = 0
+	}
+	pkts := 1
+	if bytes > 0 {
+		pkts = (bytes + n.MTU - 1) / n.MTU
+	}
+	wire := bytes + pkts*n.HeaderBytes
+	_, done := n.res.Acquire(now, wire)
+	for n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		// The attempt burned wire time but never arrived; the RC
+		// transport retransmits after the timeout.
+		n.lost++
+		_, done = n.res.Acquire(done+n.rto, wire)
+	}
+	return done
+}
+
+// Resource exposes the underlying link queue.
+func (n *NetLink) Resource() *sim.Resource { return n.res }
+
+// Duplex couples the two directions of a point-to-point network path.
+type Duplex struct {
+	AtoB *NetLink
+	BtoA *NetLink
+}
+
+// NewDuplex builds a symmetric duplex path.
+func NewDuplex(name string, bytesPerSec float64, oneWay sim.Duration) *Duplex {
+	return &Duplex{
+		AtoB: NewNetLink(name+":a->b", bytesPerSec, oneWay),
+		BtoA: NewNetLink(name+":b->a", bytesPerSec, oneWay),
+	}
+}

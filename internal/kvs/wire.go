@@ -1,0 +1,123 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a KVS request opcode on the wire (HERD-style RPC, paper
+// Sec. V).
+type Op byte
+
+const (
+	// OpGet reads a key.
+	OpGet Op = iota + 1
+	// OpPut inserts or updates a key.
+	OpPut
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// Status is a response status code.
+type Status byte
+
+const (
+	// StatusOK indicates success.
+	StatusOK Status = iota + 1
+	// StatusNotFound indicates a missing key.
+	StatusNotFound
+	// StatusError indicates a server-side failure (e.g. pool
+	// exhaustion).
+	StatusError
+)
+
+// Request is a client request.
+type Request struct {
+	Op  Op
+	Key []byte
+	Val []byte // PUT only
+}
+
+// EncodeRequest serializes a request: [1B op][2B keyLen][4B valLen][key][val].
+func EncodeRequest(r Request) []byte {
+	buf := make([]byte, 7+len(r.Key)+len(r.Val))
+	buf[0] = byte(r.Op)
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint32(buf[3:7], uint32(len(r.Val)))
+	copy(buf[7:], r.Key)
+	copy(buf[7+len(r.Key):], r.Val)
+	return buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < 7 {
+		return Request{}, fmt.Errorf("kvs: short request (%d bytes)", len(b))
+	}
+	kl := int(binary.LittleEndian.Uint16(b[1:3]))
+	vl := int(binary.LittleEndian.Uint32(b[3:7]))
+	if len(b) < 7+kl+vl {
+		return Request{}, fmt.Errorf("kvs: truncated request: have %d, want %d", len(b), 7+kl+vl)
+	}
+	r := Request{Op: Op(b[0]), Key: b[7 : 7+kl], Val: b[7+kl : 7+kl+vl]}
+	switch r.Op {
+	case OpGet, OpPut, OpDelete:
+		return r, nil
+	default:
+		return Request{}, fmt.Errorf("kvs: unknown opcode %d", b[0])
+	}
+}
+
+// Response is a server response.
+type Response struct {
+	Status Status
+	Val    []byte
+}
+
+// EncodeResponse serializes a response: [1B status][4B valLen][val].
+func EncodeResponse(r Response) []byte {
+	buf := make([]byte, 5+len(r.Val))
+	buf[0] = byte(r.Status)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(r.Val)))
+	copy(buf[5:], r.Val)
+	return buf
+}
+
+// DecodeResponse parses a response.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < 5 {
+		return Response{}, fmt.Errorf("kvs: short response (%d bytes)", len(b))
+	}
+	vl := int(binary.LittleEndian.Uint32(b[1:5]))
+	if len(b) < 5+vl {
+		return Response{}, fmt.Errorf("kvs: truncated response")
+	}
+	return Response{Status: Status(b[0]), Val: b[5 : 5+vl]}, nil
+}
+
+// Apply executes a decoded request against a store, returning the
+// response and the access trace for timing.
+func Apply(s *Store, r Request) (Response, []Access) {
+	switch r.Op {
+	case OpGet:
+		val, trace, ok := s.Get(r.Key)
+		if !ok {
+			return Response{Status: StatusNotFound}, trace
+		}
+		return Response{Status: StatusOK, Val: val}, trace
+	case OpPut:
+		trace, err := s.Put(r.Key, r.Val)
+		if err != nil {
+			return Response{Status: StatusError}, trace
+		}
+		return Response{Status: StatusOK}, trace
+	case OpDelete:
+		trace, ok := s.Delete(r.Key)
+		if !ok {
+			return Response{Status: StatusNotFound}, trace
+		}
+		return Response{Status: StatusOK}, trace
+	default:
+		return Response{Status: StatusError}, nil
+	}
+}

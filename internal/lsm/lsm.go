@@ -1,0 +1,462 @@
+// Package lsm implements a log-structured merge-tree key-value store on
+// NVM — the stand-in for RocksDB, which the paper's transaction
+// evaluation uses as the persistent storage medium (Sec. VI-C:
+// "we adopt RocksDB, a persistent key-value database, to use the
+// emulated NVM as a persistent storage medium").
+//
+// The structure is the classic one: a write-ahead log and the sorted
+// string tables live in NVM regions of the simulated address space
+// (real bytes, so recovery is testable by re-opening from the same
+// regions), the memtable lives in DRAM, and flush/compaction charge
+// streaming NVM writes while reads charge per-run probes.
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rambda/internal/memdev"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// Config sizes the tree.
+type Config struct {
+	// MemtableBytes is the flush threshold.
+	MemtableBytes int
+	// L0Runs triggers compaction of level 0 into level 1.
+	L0Runs int
+	// SSTableBytes caps one run region (flushes larger than this fail —
+	// size the memtable below it).
+	SSTableBytes uint64
+	// WALBytes sizes the write-ahead log ring.
+	WALBytes uint64
+	// MaxLevels bounds the tree depth.
+	MaxLevels int
+}
+
+// DefaultConfig returns a small tree suitable for simulation scale.
+func DefaultConfig() Config {
+	return Config{
+		MemtableBytes: 64 << 10,
+		L0Runs:        4,
+		SSTableBytes:  4 << 20,
+		WALBytes:      1 << 20,
+		MaxLevels:     4,
+	}
+}
+
+// DB is the store.
+type DB struct {
+	cfg   Config
+	space *memspace.Space
+	mem   *memdev.System
+
+	wal      *memspace.Region
+	walOff   uint64
+	memtable map[string]entry
+	memBytes int
+
+	// levels[0] holds newest-first overlapping runs; deeper levels hold
+	// one sorted run each.
+	levels [][]*sstable
+
+	puts, gets, deletes    int64
+	flushes, compactions   int64
+	walRecords, walReplays int64
+}
+
+type entry struct {
+	val       []byte
+	tombstone bool
+}
+
+// Open creates an empty store inside the given space.
+func Open(space *memspace.Space, mem *memdev.System, cfg Config) *DB {
+	if cfg.MemtableBytes <= 0 || cfg.WALBytes == 0 || cfg.MaxLevels < 1 {
+		panic("lsm: bad config")
+	}
+	return &DB{
+		cfg:      cfg,
+		space:    space,
+		mem:      mem,
+		wal:      space.Alloc("lsm-wal", cfg.WALBytes, memspace.KindNVM),
+		memtable: make(map[string]entry),
+		levels:   make([][]*sstable, cfg.MaxLevels),
+	}
+}
+
+// Stats summarizes activity.
+type Stats struct {
+	Puts, Gets, Deletes  int64
+	Flushes, Compactions int64
+	Runs                 []int // runs per level
+	MemtableEntries      int
+}
+
+// Stats returns activity counters.
+func (db *DB) Stats() Stats {
+	s := Stats{
+		Puts: db.puts, Gets: db.gets, Deletes: db.deletes,
+		Flushes: db.flushes, Compactions: db.compactions,
+		MemtableEntries: len(db.memtable),
+	}
+	for _, l := range db.levels {
+		s.Runs = append(s.Runs, len(l))
+	}
+	return s
+}
+
+// recordBytes is the WAL record framing: [2B klen][4B vlen|tomb][key][val].
+func recordBytes(key string, val []byte) int { return 6 + len(key) + len(val) }
+
+const tombBit = 1 << 31
+
+// Put inserts or updates a key: WAL append (persistence point), then
+// the memtable, flushing and compacting as needed. It returns the time
+// the write is durable.
+func (db *DB) Put(now sim.Time, key string, val []byte) (sim.Time, error) {
+	return db.write(now, key, val, false)
+}
+
+// Delete writes a tombstone.
+func (db *DB) Delete(now sim.Time, key string) (sim.Time, error) {
+	return db.write(now, key, nil, true)
+}
+
+func (db *DB) write(now sim.Time, key string, val []byte, tomb bool) (sim.Time, error) {
+	if len(key) == 0 || len(key) > 0xFFFF || len(val) >= tombBit {
+		return now, fmt.Errorf("lsm: invalid key/value size (%d/%d)", len(key), len(val))
+	}
+	rec := recordBytes(key, val)
+	if uint64(rec) > db.wal.Size {
+		return now, fmt.Errorf("lsm: record %d exceeds WAL", rec)
+	}
+	at := now
+	if db.walOff+uint64(rec) > db.wal.Size {
+		// The log is full of records that may still be unflushed: flush
+		// the memtable (persisting them as a run) before reclaiming the
+		// ring.
+		at = db.flush(at)
+	}
+	// Durability point: the WAL append reaches NVM.
+	at = db.mem.NVM.WriteAt(at, uint64(db.wal.Base)+db.walOff, rec)
+	db.encodeRecord(db.wal.Base+memspace.Addr(db.walOff), key, val, tomb)
+	db.walOff += uint64(rec)
+	db.walRecords++
+
+	old, existed := db.memtable[key]
+	db.memtable[key] = entry{val: append([]byte(nil), val...), tombstone: tomb}
+	if existed {
+		db.memBytes -= recordBytes(key, old.val)
+	}
+	db.memBytes += rec
+	if tomb {
+		db.deletes++
+	} else {
+		db.puts++
+	}
+	if db.memBytes >= db.cfg.MemtableBytes {
+		at = db.flush(at)
+	}
+	return at, nil
+}
+
+func (db *DB) encodeRecord(addr memspace.Addr, key string, val []byte, tomb bool) {
+	buf := db.space.Slice(addr, recordBytes(key, val))
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(key)))
+	vl := uint32(len(val))
+	if tomb {
+		vl |= tombBit
+	}
+	binary.LittleEndian.PutUint32(buf[2:6], vl)
+	copy(buf[6:], key)
+	copy(buf[6+len(key):], val)
+}
+
+// Get looks up a key: memtable, then L0 runs newest-first, then one run
+// per deeper level, charging an NVM probe per run consulted.
+func (db *DB) Get(now sim.Time, key string) ([]byte, sim.Time, bool) {
+	db.gets++
+	if e, ok := db.memtable[key]; ok {
+		if e.tombstone {
+			return nil, now, false
+		}
+		return append([]byte(nil), e.val...), now, true
+	}
+	at := now
+	for li, runs := range db.levels {
+		for ri := len(runs) - 1; ri >= 0; ri-- { // newest first within L0
+			run := runs[ri]
+			val, tomb, probed, found := run.get(key)
+			at = db.mem.NVM.Read(at, probed)
+			if found {
+				if tomb {
+					return nil, at, false
+				}
+				return val, at, true
+			}
+			if li > 0 {
+				break // one run per deeper level
+			}
+		}
+	}
+	return nil, at, false
+}
+
+// flush sorts the memtable into a new L0 run and truncates the WAL.
+func (db *DB) flush(now sim.Time) sim.Time {
+	if len(db.memtable) == 0 {
+		return now
+	}
+	run, bytes := buildSSTable(db.space, fmt.Sprintf("lsm-l0-%d", db.flushes), db.cfg.SSTableBytes, db.memtable)
+	at := db.mem.NVM.WriteAt(now, uint64(run.region.Base), bytes)
+	db.levels[0] = append(db.levels[0], run)
+	db.memtable = make(map[string]entry)
+	db.memBytes = 0
+	db.walOff = 0
+	db.flushes++
+	if len(db.levels[0]) > db.cfg.L0Runs {
+		at = db.compact(at, 0)
+	}
+	return at
+}
+
+// Flush exposes flushing for tests and shutdown.
+func (db *DB) Flush(now sim.Time) sim.Time { return db.flush(now) }
+
+// compact merges every run of level li plus the run at li+1 into a new
+// single run at li+1.
+func (db *DB) compact(now sim.Time, li int) sim.Time {
+	if li+1 >= db.cfg.MaxLevels {
+		return now // bottom level absorbs runs without further merging
+	}
+	merged := make(map[string]entry)
+	// Oldest first so newer runs overwrite.
+	if len(db.levels[li+1]) > 0 {
+		db.levels[li+1][0].scanInto(merged)
+	}
+	for _, run := range db.levels[li] {
+		run.scanInto(merged)
+	}
+	bottom := li+1 == db.cfg.MaxLevels-1
+	if bottom {
+		// Tombstones die at the bottom.
+		for k, e := range merged {
+			if e.tombstone {
+				delete(merged, k)
+			}
+		}
+	}
+	db.compactions++
+	db.levels[li] = nil
+	if len(merged) == 0 {
+		db.levels[li+1] = nil
+		return now
+	}
+	run, bytes := buildSSTable(db.space, fmt.Sprintf("lsm-l%d-%d", li+1, db.compactions),
+		db.cfg.SSTableBytes*uint64(li+2), merged)
+	at := db.mem.NVM.WriteAt(now, uint64(run.region.Base), bytes)
+	db.levels[li+1] = []*sstable{run}
+	// Cascade if the merged level has grown too large.
+	if uint64(bytes) > db.cfg.SSTableBytes*uint64(1<<uint(li+1)) && li+2 < db.cfg.MaxLevels {
+		at = db.compact(at, li+1)
+	}
+	return at
+}
+
+// sstable is one sorted run in NVM.
+type sstable struct {
+	region *memspace.Region
+	space  *memspace.Space
+	// index holds the sorted keys with their record offsets (rebuilt by
+	// scanning the region on recovery, held in DRAM at runtime).
+	keys    []string
+	offsets []uint32
+}
+
+// buildSSTable serializes entries (sorted) into a fresh NVM region.
+func buildSSTable(space *memspace.Space, name string, capBytes uint64, entries map[string]entry) (*sstable, int) {
+	keys := make([]string, 0, len(entries))
+	total := 8 // [4B magic][4B count]
+	for k, e := range entries {
+		keys = append(keys, k)
+		total += recordBytes(k, e.val)
+	}
+	sort.Strings(keys)
+	if uint64(total) > capBytes {
+		capBytes = uint64(total) // grow: simulation regions are cheap
+	}
+	region := space.Alloc(name, capBytes, memspace.KindNVM)
+	buf := region.Bytes()
+	binary.LittleEndian.PutUint32(buf[0:4], sstMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(keys)))
+	t := &sstable{region: region, space: space}
+	off := 8
+	for _, k := range keys {
+		e := entries[k]
+		t.keys = append(t.keys, k)
+		t.offsets = append(t.offsets, uint32(off))
+		binary.LittleEndian.PutUint16(buf[off:off+2], uint16(len(k)))
+		vl := uint32(len(e.val))
+		if e.tombstone {
+			vl |= tombBit
+		}
+		binary.LittleEndian.PutUint32(buf[off+2:off+6], vl)
+		copy(buf[off+6:], k)
+		copy(buf[off+6+len(k):], e.val)
+		off += recordBytes(k, e.val)
+	}
+	return t, off
+}
+
+const sstMagic = 0x4C534D31 // "LSM1"
+
+// get binary-searches the run. probed is the byte count of NVM touched
+// (index is in DRAM; one record read per hit/miss probe).
+func (t *sstable) get(key string) (val []byte, tomb bool, probed int, found bool) {
+	i := sort.SearchStrings(t.keys, key)
+	if i >= len(t.keys) || t.keys[i] != key {
+		return nil, false, memdev.NVMGranularity, false
+	}
+	off := int(t.offsets[i])
+	hdr := t.region.Bytes()[off : off+6]
+	vl := binary.LittleEndian.Uint32(hdr[2:6])
+	tomb = vl&tombBit != 0
+	n := int(vl &^ uint32(tombBit))
+	kl := int(binary.LittleEndian.Uint16(hdr[0:2]))
+	val = append([]byte(nil), t.region.Bytes()[off+6+kl:off+6+kl+n]...)
+	return val, tomb, 6 + kl + n, true
+}
+
+// scanInto replays the run's records into dst (later calls overwrite).
+func (t *sstable) scanInto(dst map[string]entry) {
+	for i, k := range t.keys {
+		off := int(t.offsets[i])
+		hdr := t.region.Bytes()[off : off+6]
+		vl := binary.LittleEndian.Uint32(hdr[2:6])
+		tomb := vl&tombBit != 0
+		n := int(vl &^ uint32(tombBit))
+		kl := int(binary.LittleEndian.Uint16(hdr[0:2]))
+		dst[k] = entry{
+			val:       append([]byte(nil), t.region.Bytes()[off+6+kl:off+6+kl+n]...),
+			tombstone: tomb,
+		}
+	}
+}
+
+// openSSTable rebuilds a run's index by scanning its region bytes.
+func openSSTable(space *memspace.Space, region *memspace.Region) (*sstable, error) {
+	buf := region.Bytes()
+	if len(buf) < 8 || binary.LittleEndian.Uint32(buf[0:4]) != sstMagic {
+		return nil, fmt.Errorf("lsm: region %q is not an sstable", region.Name)
+	}
+	count := int(binary.LittleEndian.Uint32(buf[4:8]))
+	t := &sstable{region: region, space: space}
+	off := 8
+	for i := 0; i < count; i++ {
+		if off+6 > len(buf) {
+			return nil, fmt.Errorf("lsm: truncated sstable %q", region.Name)
+		}
+		kl := int(binary.LittleEndian.Uint16(buf[off : off+2]))
+		vl := int(binary.LittleEndian.Uint32(buf[off+2:off+6]) &^ uint32(tombBit))
+		if off+6+kl+vl > len(buf) {
+			return nil, fmt.Errorf("lsm: truncated record in %q", region.Name)
+		}
+		t.keys = append(t.keys, string(buf[off+6:off+6+kl]))
+		t.offsets = append(t.offsets, uint32(off))
+		off += 6 + kl + vl
+	}
+	return t, nil
+}
+
+// Recover rebuilds a DB after a crash from the persistent regions: the
+// sstable runs (oldest-to-newest per level, levels deep-to-shallow
+// handled by scan order) and the WAL records not yet flushed. walValid
+// is the number of durable WAL bytes (a real system reads until the
+// checksum breaks; the simulation tracks it in the test).
+func Recover(space *memspace.Space, mem *memdev.System, cfg Config,
+	wal *memspace.Region, walValid uint64, runs [][]*memspace.Region) (*DB, error) {
+	db := &DB{
+		cfg:      cfg,
+		space:    space,
+		mem:      mem,
+		wal:      wal,
+		memtable: make(map[string]entry),
+		levels:   make([][]*sstable, cfg.MaxLevels),
+	}
+	for li, level := range runs {
+		if li >= cfg.MaxLevels {
+			return nil, fmt.Errorf("lsm: %d levels exceed MaxLevels %d", len(runs), cfg.MaxLevels)
+		}
+		for _, region := range level {
+			t, err := openSSTable(space, region)
+			if err != nil {
+				return nil, err
+			}
+			db.levels[li] = append(db.levels[li], t)
+		}
+	}
+	// Replay the WAL tail into the memtable.
+	buf := wal.Bytes()
+	off := uint64(0)
+	for off+6 <= walValid {
+		kl := int(binary.LittleEndian.Uint16(buf[off : off+2]))
+		raw := binary.LittleEndian.Uint32(buf[off+2 : off+6])
+		tomb := raw&tombBit != 0
+		vl := int(raw &^ uint32(tombBit))
+		if off+uint64(6+kl+vl) > walValid {
+			break // torn tail record: discarded, like a failed checksum
+		}
+		key := string(buf[off+6 : off+6+uint64(kl)])
+		val := append([]byte(nil), buf[off+6+uint64(kl):off+6+uint64(kl+vl)]...)
+		db.memtable[key] = entry{val: val, tombstone: tomb}
+		db.memBytes += 6 + kl + vl
+		db.walReplays++
+		off += uint64(6 + kl + vl)
+	}
+	db.walOff = off
+	return db, nil
+}
+
+// WAL exposes the log region and its valid length (for Recover).
+func (db *DB) WAL() (*memspace.Region, uint64) { return db.wal, db.walOff }
+
+// Runs exposes the current run regions per level (the manifest a real
+// system would persist).
+func (db *DB) Runs() [][]*memspace.Region {
+	out := make([][]*memspace.Region, len(db.levels))
+	for li, level := range db.levels {
+		for _, t := range level {
+			out[li] = append(out[li], t.region)
+		}
+	}
+	return out
+}
+
+// Range iterates the live keys in sorted order (merging all levels and
+// the memtable), calling fn until it returns false.
+func (db *DB) Range(fn func(key string, val []byte) bool) {
+	merged := make(map[string]entry)
+	for li := len(db.levels) - 1; li >= 0; li-- {
+		for _, run := range db.levels[li] {
+			run.scanInto(merged)
+		}
+	}
+	for k, e := range db.memtable {
+		merged[k] = e
+	}
+	keys := make([]string, 0, len(merged))
+	for k, e := range merged {
+		if !e.tombstone {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, merged[k].val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rambda/internal/memdev"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+func newDB(t *testing.T, cfg Config) (*DB, *memspace.Space, *memdev.System) {
+	t.Helper()
+	space := memspace.New()
+	mem := &memdev.System{
+		Space: space,
+		DRAM:  memdev.NewDRAM("dram", 6, 120e9, 90*sim.Nanosecond),
+		NVM:   memdev.NewNVM("nvm", 6, 39e9, 300*sim.Nanosecond, 2),
+		LLC:   memdev.NewLLC("llc", 300e9, 20*sim.Nanosecond),
+	}
+	return Open(space, mem, cfg), space, mem
+}
+
+func smallConfig() Config {
+	return Config{
+		MemtableBytes: 1 << 10,
+		L0Runs:        2,
+		SSTableBytes:  8 << 10,
+		WALBytes:      4 << 10,
+		MaxLevels:     3,
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _, _ := newDB(t, smallConfig())
+	at, err := db.Put(0, "alpha", []byte("1"))
+	if err != nil || at <= 0 {
+		t.Fatalf("put: %v at=%v (WAL write must take time)", err, at)
+	}
+	v, _, ok := db.Get(at, "alpha")
+	if !ok || string(v) != "1" {
+		t.Fatalf("get=%q ok=%v", v, ok)
+	}
+	if _, _, ok := db.Get(at, "missing"); ok {
+		t.Fatal("phantom key")
+	}
+	if _, err := db.Delete(at, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := db.Get(at, "alpha"); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestFlushAndReadFromRuns(t *testing.T) {
+	db, _, _ := newDB(t, smallConfig())
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		at, err := db.Put(now, fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("val-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = at
+	}
+	st := db.Stats()
+	if st.Flushes == 0 {
+		t.Fatalf("expected flushes: %+v", st)
+	}
+	// Every key readable regardless of which structure holds it.
+	for i := 0; i < 100; i++ {
+		v, _, ok := db.Get(now, fmt.Sprintf("key-%03d", i))
+		if !ok || string(v) != fmt.Sprintf("val-%03d", i) {
+			t.Fatalf("key %d lost after flush (got %q ok=%v)", i, v, ok)
+		}
+	}
+}
+
+func TestCompactionMergesLevels(t *testing.T) {
+	db, _, _ := newDB(t, smallConfig())
+	now := sim.Time(0)
+	// Eight generations of the same 50 keys, each flushed as its own
+	// run: L0 (bounded at 2 runs) must compact repeatedly, and the
+	// newest generation must win everywhere.
+	for gen := 0; gen < 8; gen++ {
+		for i := 0; i < 50; i++ {
+			at, err := db.Put(now, fmt.Sprintf("k%04d", i), []byte(fmt.Sprintf("gen-%d", gen)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = at
+		}
+		now = db.Flush(now)
+	}
+	st := db.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("expected compactions: %+v", st)
+	}
+	if st.Runs[0] > smallConfig().L0Runs+1 {
+		t.Fatalf("L0 runs=%d not bounded", st.Runs[0])
+	}
+	for i := 0; i < 50; i++ {
+		v, _, ok := db.Get(now, fmt.Sprintf("k%04d", i))
+		if !ok {
+			t.Fatalf("key %d lost in compaction", i)
+		}
+		if string(v) != "gen-7" {
+			t.Fatalf("key %d = %q, want gen-7", i, v)
+		}
+	}
+}
+
+func TestTombstonesSurviveCompaction(t *testing.T) {
+	db, _, _ := newDB(t, smallConfig())
+	now := sim.Time(0)
+	now, _ = db.Put(now, "victim", []byte("x"))
+	now = db.Flush(now)
+	now, _ = db.Delete(now, "victim")
+	now = db.Flush(now) // tombstone now in its own run above the value
+	if _, _, ok := db.Get(now, "victim"); ok {
+		t.Fatal("tombstone must shadow the older run")
+	}
+	// Force merges; the key must stay dead.
+	for i := 0; i < 300; i++ {
+		now, _ = db.Put(now, fmt.Sprintf("fill-%04d", i), []byte("f"))
+	}
+	if _, _, ok := db.Get(now, "victim"); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+}
+
+func TestCrashRecoveryFromWALAndRuns(t *testing.T) {
+	db, space, mem := newDB(t, smallConfig())
+	now := sim.Time(0)
+	for i := 0; i < 60; i++ { // enough for a flush plus a WAL tail
+		now, _ = db.Put(now, fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete(now, "key-010")
+
+	wal, walValid := db.WAL()
+	runs := db.Runs()
+
+	// "Crash": reopen purely from the persistent regions.
+	re, err := Recover(space, mem, smallConfig(), wal, walValid, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		v, _, ok := re.Get(0, key)
+		if i == 10 {
+			if ok {
+				t.Fatal("tombstoned key survived recovery")
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s lost in recovery (got %q ok=%v)", key, v, ok)
+		}
+	}
+}
+
+func TestRecoveryDiscardsTornTail(t *testing.T) {
+	db, space, mem := newDB(t, smallConfig())
+	db.Put(0, "whole", []byte("record"))
+	db.Put(0, "torn", []byte("half-written-record"))
+	wal, walValid := db.WAL()
+	// The crash happened mid-way through the second record.
+	re, err := Recover(space, mem, smallConfig(), wal, walValid-5, db.Runs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := re.Get(0, "whole"); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, _, ok := re.Get(0, "torn"); ok {
+		t.Fatal("torn record must be discarded")
+	}
+}
+
+func TestWALWrapForcesFlush(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MemtableBytes = 1 << 20 // never flush by size
+	cfg.WALBytes = 512          // wrap quickly
+	db, _, _ := newDB(t, cfg)
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		at, err := db.Put(now, fmt.Sprintf("key-%04d", i), make([]byte, 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = at
+	}
+	if db.Stats().Flushes == 0 {
+		t.Fatal("WAL wrap must force a flush (otherwise durability breaks)")
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, ok := db.Get(now, fmt.Sprintf("key-%04d", i)); !ok {
+			t.Fatalf("key %d lost across WAL wrap", i)
+		}
+	}
+}
+
+func TestRangeSortedAndLive(t *testing.T) {
+	db, _, _ := newDB(t, smallConfig())
+	now := sim.Time(0)
+	for _, k := range []string{"cherry", "apple", "banana", "date"} {
+		now, _ = db.Put(now, k, []byte(k))
+	}
+	db.Delete(now, "banana")
+	var got []string
+	db.Range(func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"apple", "cherry", "date"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("range=%v", got)
+	}
+	// Early stop.
+	n := 0
+	db.Range(func(string, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("early stop")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	db, _, _ := newDB(t, smallConfig())
+	if _, err := db.Put(0, "", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	cfg := smallConfig()
+	cfg.WALBytes = 64
+	db2, _, _ := newDB(t, cfg)
+	if _, err := db2.Put(0, "k", make([]byte, 128)); err == nil {
+		t.Fatal("record larger than WAL accepted")
+	}
+}
+
+func TestModelEquivalenceProperty(t *testing.T) {
+	// Under any op sequence, the DB matches a plain map (including
+	// across flush/compaction boundaries).
+	type op struct {
+		Op  uint8
+		Key uint8
+		Val uint8
+	}
+	f := func(ops []op) bool {
+		db, _, _ := newDB(t, smallConfig())
+		model := map[string]string{}
+		now := sim.Time(0)
+		for _, o := range ops {
+			key := fmt.Sprintf("key-%d", o.Key%40)
+			switch o.Op % 4 {
+			case 0, 1:
+				val := fmt.Sprintf("val-%d", o.Val)
+				at, err := db.Put(now, key, []byte(val))
+				if err != nil {
+					return false
+				}
+				model[key] = val
+				now = at
+			case 2:
+				v, _, ok := db.Get(now, key)
+				mv, mok := model[key]
+				if ok != mok || (ok && string(v) != mv) {
+					return false
+				}
+			case 3:
+				at, err := db.Delete(now, key)
+				if err != nil {
+					return false
+				}
+				delete(model, key)
+				now = at
+			}
+		}
+		// Final full audit.
+		for k, mv := range model {
+			v, _, ok := db.Get(now, k)
+			if !ok || string(v) != mv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurabilityCostsTime(t *testing.T) {
+	db, _, mem := newDB(t, smallConfig())
+	at, _ := db.Put(0, "k", []byte("v"))
+	if at <= 0 {
+		t.Fatal("WAL append must charge NVM time")
+	}
+	if mem.NVM.Resource().Ops() == 0 {
+		t.Fatal("NVM not charged")
+	}
+}

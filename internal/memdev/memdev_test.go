@@ -1,0 +1,197 @@
+package memdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+func TestDRAMAccessRoundsToLines(t *testing.T) {
+	d := NewDRAM("dram", 1, 64e9, 90*sim.Nanosecond) // 1ns per 64B line
+	done := d.Access(0, 1)
+	// 64B at 64GB/s = 1ns occupancy + 90ns latency.
+	if done != 91*sim.Nanosecond {
+		t.Fatalf("done=%v, want 91ns", done)
+	}
+	if d.Resource().Bytes() != 64 {
+		t.Fatalf("charged %d bytes, want 64", d.Resource().Bytes())
+	}
+}
+
+func TestDRAMChannelsParallel(t *testing.T) {
+	d := NewDRAM("dram", 6, 120e9, 0)
+	var last sim.Time
+	for i := 0; i < 6; i++ {
+		last = d.Access(0, 64)
+	}
+	first := d.Access(0, 64) // 7th access queues behind one channel
+	if first <= last {
+		t.Fatalf("7th access (%v) should queue behind 6 parallel ones (%v)", first, last)
+	}
+}
+
+func TestNVMGranularityAndAmplification(t *testing.T) {
+	n := NewNVM("nvm", 1, 6e9, 300*sim.Nanosecond, 3)
+	n.WriteSequential(0, 100) // rounds to 256
+	if got := n.WriteAmplification(); got != 2.56 {
+		t.Fatalf("seq amplification=%v, want 2.56", got)
+	}
+
+	n2 := NewNVM("nvm", 1, 6e9, 300*sim.Nanosecond, 3)
+	n2.WriteRandomLines(0, 256) // 4 lines x 256B media = 1024
+	if got := n2.WriteAmplification(); got != 4.0 {
+		t.Fatalf("random-line amplification=%v, want 4.0", got)
+	}
+	// Randomized line evictions must consume more controller time than a
+	// sequential write of the same span.
+	n3 := NewNVM("nvm", 1, 6e9, 0, 3)
+	seqDone := n3.WriteSequential(0, 1024)
+	n4 := NewNVM("nvm", 1, 6e9, 0, 3)
+	rndDone := n4.WriteRandomLines(0, 1024)
+	if rndDone <= seqDone {
+		t.Fatalf("random-line write (%v) must be slower than sequential (%v)", rndDone, seqDone)
+	}
+}
+
+func TestNVMWriteCostSteals(t *testing.T) {
+	// Reads behind a big amplified write must be delayed.
+	n := NewNVM("nvm", 1, 6e9, 0, 3)
+	free := n.Read(0, 256)
+	n2 := NewNVM("nvm", 1, 6e9, 0, 3)
+	n2.WriteRandomLines(0, 4096)
+	busy := n2.Read(0, 256)
+	if busy <= free {
+		t.Fatal("write amplification must delay subsequent reads")
+	}
+	if n.WriteAmplification() != 1 {
+		t.Fatal("no writes -> amplification 1")
+	}
+}
+
+func TestLLCSteering(t *testing.T) {
+	c := NewLLC("llc", 300e9, 20*sim.Nanosecond)
+	c.DDIOEnabled = false
+	if c.SteerDMA(false) != DestMemory {
+		t.Fatal("DDIO off + TPH off must go to memory")
+	}
+	if c.SteerDMA(true) != DestLLC {
+		t.Fatal("TPH on must go to LLC")
+	}
+	c.DDIOEnabled = true
+	if c.SteerDMA(false) != DestLLC {
+		t.Fatal("DDIO on must go to LLC")
+	}
+}
+
+func newTestSystem(withNVM bool) (*System, *memspace.Region, *memspace.Region) {
+	space := memspace.New()
+	dreg := space.Alloc("dram-data", 1<<20, memspace.KindDRAM)
+	var nreg *memspace.Region
+	if withNVM {
+		nreg = space.Alloc("nvm-data", 1<<20, memspace.KindNVM)
+	}
+	sys := &System{
+		Space: space,
+		DRAM:  NewDRAM("dram", 6, 120e9, 90*sim.Nanosecond),
+		NVM:   NewNVM("nvm", 6, 39e9, 300*sim.Nanosecond, 3),
+		Local: NewLocalMem("local", 2, 36e9, 120*sim.Nanosecond, 10*sim.Nanosecond),
+		LLC:   NewLLC("llc", 300e9, 20*sim.Nanosecond),
+	}
+	return sys, dreg, nreg
+}
+
+func TestSystemDMAWriteSteering(t *testing.T) {
+	sys, dreg, nreg := newTestSystem(true)
+	sys.LLC.DDIOEnabled = false
+
+	// TPH off, DRAM region: memory bypass.
+	_, dest := sys.DMAWrite(0, dreg.Base, 4096, false)
+	if dest != DestMemory {
+		t.Fatal("expected memory bypass")
+	}
+	if sys.LLC.MemoryBypassBytes() != 4096 {
+		t.Fatalf("bypass bytes=%d", sys.LLC.MemoryBypassBytes())
+	}
+
+	// TPH on: LLC injection + small eviction stream.
+	_, dest = sys.DMAWrite(0, dreg.Base, 4096, true)
+	if dest != DestLLC {
+		t.Fatal("expected LLC injection")
+	}
+	if sys.LLC.LLCBytes() != 4096 {
+		t.Fatalf("llc bytes=%d", sys.LLC.LLCBytes())
+	}
+	if sys.LLC.EvictedBytes() == 0 || sys.LLC.EvictedBytes() >= 4096 {
+		t.Fatalf("evictions=%d, want small nonzero fraction", sys.LLC.EvictedBytes())
+	}
+
+	// NVM region with TPH off: sequential write, amplification ~1.
+	sys.DMAWrite(0, nreg.Base, 4096, false)
+	if amp := sys.NVM.WriteAmplification(); amp > 1.1 {
+		t.Fatalf("adaptive path amplification=%v, want ~1", amp)
+	}
+}
+
+func TestSystemNVMDDIOAmplifies(t *testing.T) {
+	sys, _, nreg := newTestSystem(true)
+	sys.LLC.DDIOEnabled = true     // the "RAMBDA-DDIO" misconfiguration
+	sys.LLC.NVMEvictFraction = 1.0 // every dirty line eventually evicts
+	sys.DMAWrite(0, nreg.Base, 4096, false)
+	if amp := sys.NVM.WriteAmplification(); amp < 3.5 {
+		t.Fatalf("DDIO-on NVM amplification=%v, want ~4", amp)
+	}
+}
+
+func TestSystemReadsRouteByKind(t *testing.T) {
+	sys, dreg, nreg := newTestSystem(true)
+	sys.MemRead(0, dreg.Base, 64)
+	if sys.DRAM.Resource().Ops() != 1 {
+		t.Fatal("DRAM read not routed")
+	}
+	sys.MemRead(0, nreg.Base, 64)
+	if sys.NVM.Resource().Ops() != 1 {
+		t.Fatal("NVM read not routed")
+	}
+	sys.MemWrite(0, nreg.Base, 64)
+	if sys.NVM.Resource().Ops() != 2 {
+		t.Fatal("NVM write not routed")
+	}
+}
+
+func TestLocalMemBypassesLLC(t *testing.T) {
+	space := memspace.New()
+	lreg := space.Alloc("accel", 1<<16, memspace.KindAccelLocal)
+	sys := &System{
+		Space: space,
+		DRAM:  NewDRAM("dram", 6, 120e9, 90*sim.Nanosecond),
+		Local: NewLocalMem("local", 2, 36e9, 120*sim.Nanosecond, 10*sim.Nanosecond),
+		LLC:   NewLLC("llc", 300e9, 20*sim.Nanosecond),
+	}
+	sys.LLC.DDIOEnabled = true
+	_, dest := sys.DMAWrite(0, lreg.Base, 64, true)
+	if dest != DestMemory {
+		t.Fatal("accel-local DMA must bypass host LLC")
+	}
+	if sys.LLC.LLCBytes() != 0 {
+		t.Fatal("accel-local DMA charged to LLC")
+	}
+	if sys.Local.Resource().Ops() != 1 {
+		t.Fatal("accel-local DMA not charged to local memory")
+	}
+}
+
+func TestRoundUpProperty(t *testing.T) {
+	f := func(n uint16, which bool) bool {
+		to := CacheLineSize
+		if which {
+			to = NVMGranularity
+		}
+		r := roundUp(int(n), to)
+		return r >= int(n) && r%to == 0 && r-int(n) < to
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package memspace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndLookup(t *testing.T) {
+	s := New()
+	a := s.Alloc("a", 100, KindDRAM)
+	b := s.Alloc("b", 4096, KindNVM)
+	if a.Size != 128 { // rounded to 64B
+		t.Fatalf("size=%d, want 128", a.Size)
+	}
+	if a.Base == 0 {
+		t.Fatal("base must not be the null page")
+	}
+	if b.Base != a.End() {
+		t.Fatalf("regions must be contiguous: %#x vs %#x", b.Base, a.End())
+	}
+	if got := s.Region(a.Base + 5); got != a {
+		t.Fatal("lookup inside a failed")
+	}
+	if got := s.Region(b.Base); got != b {
+		t.Fatal("lookup at base of b failed")
+	}
+	if got := s.Region(0); got != nil {
+		t.Fatal("null page must be unmapped")
+	}
+	if got := s.Region(b.End()); got != nil {
+		t.Fatal("past-the-end must be unmapped")
+	}
+	if s.KindOf(b.Base+10) != KindNVM {
+		t.Fatal("KindOf wrong")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := New()
+	r := s.Alloc("buf", 256, KindDRAM)
+	msg := []byte("hello rambda")
+	s.Write(r.Base+32, msg)
+	got := make([]byte, len(msg))
+	s.Read(r.Base+32, got)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip got %q", got)
+	}
+	// Slice aliases live storage.
+	sl := s.Slice(r.Base+32, len(msg))
+	sl[0] = 'H'
+	s.Read(r.Base+32, got)
+	if got[0] != 'H' {
+		t.Fatal("Slice must alias backing storage")
+	}
+}
+
+func TestAccessPanics(t *testing.T) {
+	s := New()
+	r := s.Alloc("x", 64, KindDRAM)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unmapped read", func() { s.Read(0, make([]byte, 1)) })
+	mustPanic("cross-end read", func() { s.Read(r.Base+60, make([]byte, 10)) })
+	mustPanic("zero alloc", func() { s.Alloc("z", 0, KindDRAM) })
+	mustPanic("KindOf unmapped", func() { s.KindOf(1) })
+}
+
+func TestRange(t *testing.T) {
+	r := Range{Base: 100, Size: 50}
+	if !r.Contains(100) || !r.Contains(149) || r.Contains(150) || r.Contains(99) {
+		t.Fatal("Contains broken")
+	}
+	if !r.Overlaps(Range{Base: 140, Size: 20}) {
+		t.Fatal("overlap missed")
+	}
+	if r.Overlaps(Range{Base: 150, Size: 20}) {
+		t.Fatal("false overlap")
+	}
+	if r.Overlaps(Range{Base: 50, Size: 50}) {
+		t.Fatal("false overlap before")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDRAM.String() != "dram" || KindNVM.String() != "nvm" ||
+		KindAccelLocal.String() != "accel-local" {
+		t.Fatal("kind names")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}
+
+func TestPropertyRegionsDisjointAndFindable(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := New()
+		var regs []*Region
+		for i, sz := range sizes {
+			if len(regs) > 64 {
+				break
+			}
+			size := uint64(sz%4096) + 1
+			regs = append(regs, s.Alloc("r", size, Kind(i%3)))
+		}
+		for i, r := range regs {
+			// Every region must be findable at its base and last byte.
+			if s.Region(r.Base) != r || s.Region(r.End()-1) != r {
+				return false
+			}
+			// And disjoint from all others.
+			for j, o := range regs {
+				if i != j && r.Overlaps(o.Range) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalAllocated(t *testing.T) {
+	s := New()
+	s.Alloc("a", 64, KindDRAM)
+	s.Alloc("b", 128, KindNVM)
+	if s.TotalAllocated() != 192 {
+		t.Fatalf("total=%d", s.TotalAllocated())
+	}
+	if len(s.Regions()) != 2 {
+		t.Fatal("Regions() wrong length")
+	}
+}

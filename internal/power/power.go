@@ -1,0 +1,41 @@
+// Package power models the power accounting behind the paper's energy
+// results (Sec. VI-B, Tab. III). The wattages are the paper's measured
+// values (RAPL for CPU/DIMMs, IPMI for the server box, FPGA firmware
+// for the fabric); efficiency is computed from simulated throughput
+// against those constants.
+package power
+
+// Measured component power draws from the paper, in watts.
+const (
+	// CPUFullLoad is the Intel Xeon package fully loaded on the KVS
+	// workload.
+	CPUFullLoad = 90.0
+	// SmartNICARMs is the BlueField-2 ARM complex fully loaded.
+	SmartNICARMs = 15.0
+	// RambdaFPGAMin/Max bound the Arria 10 fabric at peak throughput
+	// ("in the range of 24-27W").
+	RambdaFPGAMin = 24.0
+	RambdaFPGAMax = 27.0
+	// ServerBoxCPU and ServerBoxRambda are whole-box IPMI readings; the
+	// paper reports ~38% box-level reduction with RAMBDA.
+	ServerBoxCPU    = 385.0
+	ServerBoxRambda = 240.0
+)
+
+// RambdaFPGA is the midpoint fabric power used for efficiency math.
+const RambdaFPGA = (RambdaFPGAMin + RambdaFPGAMax) / 2
+
+// KopsPerWatt converts a throughput (ops/sec) and a power draw into
+// the paper's Kop/W metric.
+func KopsPerWatt(opsPerSec, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return opsPerSec / 1e3 / watts
+}
+
+// BoxReduction reports the fractional whole-server power reduction of
+// RAMBDA over the CPU baseline.
+func BoxReduction() float64 {
+	return 1 - ServerBoxRambda/ServerBoxCPU
+}

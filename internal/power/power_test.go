@@ -1,0 +1,29 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKopsPerWatt(t *testing.T) {
+	if got := KopsPerWatt(11.7e6, 90); math.Abs(got-130) > 0.1 {
+		t.Fatalf("got %v, want 130 Kop/W", got)
+	}
+	if KopsPerWatt(1e6, 0) != 0 {
+		t.Fatal("zero watts must not divide")
+	}
+}
+
+func TestBoxReduction(t *testing.T) {
+	r := BoxReduction()
+	// The paper reports ~38% whole-box reduction.
+	if r < 0.3 || r > 0.45 {
+		t.Fatalf("box reduction=%v, want ~0.38", r)
+	}
+}
+
+func TestFPGAMidpoint(t *testing.T) {
+	if RambdaFPGA <= RambdaFPGAMin || RambdaFPGA >= RambdaFPGAMax {
+		t.Fatal("midpoint out of range")
+	}
+}

@@ -1,0 +1,77 @@
+package ringbuf
+
+import (
+	"fmt"
+
+	"rambda/internal/sim"
+)
+
+// SharedConn multiplexes many application threads onto one
+// request/response ring pair (and its underlying QP), the Flock-style
+// sharing of paper Sec. III-A: "we do allow sharing the ring buffers
+// (and the RDMA QPs) across threads on the same machine ... one
+// dedicated thread on the client for request synchronization and
+// dispatch". The dispatcher serializes sends (a small per-request
+// synchronization cost) and routes responses back to their issuing
+// thread in FIFO order — the property the underlying single-trip
+// protocol guarantees.
+type SharedConn struct {
+	conn *Conn
+	// dispatch is the dedicated synchronization thread: capacity 1,
+	// with the cross-thread handoff cost per message.
+	dispatch *sim.Resource
+
+	// inFlight maps completion order back to issuing threads.
+	inFlight []int
+
+	sent, received int64
+}
+
+// NewSharedConn wraps a connection with a dispatcher whose per-message
+// synchronization overhead is `handoff` (the paper observes "no
+// performance loss compared to native RDMA primitives" because this
+// cost stays off the network critical path).
+func NewSharedConn(conn *Conn, handoff sim.Duration) *SharedConn {
+	return &SharedConn{
+		conn:     conn,
+		dispatch: sim.NewResource("flock-dispatch", 1, handoff, 0, 0),
+	}
+}
+
+// CanSend reports whether the shared ring has a credit.
+func (s *SharedConn) CanSend() bool { return s.conn.CanSend() }
+
+// Send issues a request on behalf of thread `tid`, returning its
+// server-visibility time. The dispatcher hop is charged before the
+// RDMA write.
+func (s *SharedConn) Send(now sim.Time, tid int, payload []byte) sim.Time {
+	_, at := s.dispatch.Acquire(now, 0)
+	done := s.conn.Send(at, payload)
+	s.inFlight = append(s.inFlight, tid)
+	s.sent++
+	return done
+}
+
+// PollResponse consumes the next response and reports which thread it
+// belongs to.
+func (s *SharedConn) PollResponse() (tid int, payload []byte, ok bool) {
+	payload, ok = s.conn.PollResponse()
+	if !ok {
+		return 0, nil, false
+	}
+	if len(s.inFlight) == 0 {
+		panic("ringbuf: response without an in-flight sender")
+	}
+	tid = s.inFlight[0]
+	s.inFlight = s.inFlight[1:]
+	s.received++
+	return tid, payload, true
+}
+
+// Outstanding reports requests awaiting responses.
+func (s *SharedConn) Outstanding() int { return len(s.inFlight) }
+
+// Stats summarizes dispatcher activity.
+func (s *SharedConn) Stats() string {
+	return fmt.Sprintf("sent=%d received=%d outstanding=%d", s.sent, s.received, len(s.inFlight))
+}

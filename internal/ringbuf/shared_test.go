@@ -1,0 +1,85 @@
+package ringbuf
+
+import (
+	"testing"
+
+	"rambda/internal/sim"
+)
+
+func newShared(t *testing.T) (*SharedConn, *ServerConn) {
+	t.Helper()
+	client, server, _, _ := newConnPair(t, 8, false)
+	return NewSharedConn(client, 50*sim.Nanosecond), server
+}
+
+func TestSharedConnRoutesResponsesToThreads(t *testing.T) {
+	sc, server := newShared(t)
+	// Three threads interleave sends.
+	for i, tid := range []int{7, 3, 9} {
+		sc.Send(0, tid, []byte{byte(i)})
+	}
+	if sc.Outstanding() != 3 {
+		t.Fatalf("outstanding=%d", sc.Outstanding())
+	}
+	// Server drains in order.
+	for i := 0; i < 3; i++ {
+		payload, idx, ok := server.NextRequest()
+		if !ok || payload[0] != byte(i) {
+			t.Fatalf("server order broken at %d", i)
+		}
+		server.Complete(idx)
+		server.Respond(0, payload)
+	}
+	// Responses come back to the right threads, FIFO.
+	for i, want := range []int{7, 3, 9} {
+		tid, payload, ok := sc.PollResponse()
+		if !ok || tid != want || payload[0] != byte(i) {
+			t.Fatalf("response %d routed to %d (payload %v)", i, tid, payload)
+		}
+	}
+	if sc.Outstanding() != 0 {
+		t.Fatal("outstanding after drain")
+	}
+}
+
+func TestSharedConnDispatcherSerializes(t *testing.T) {
+	sc, _ := newShared(t)
+	// Two sends at t=0: the second must queue behind the 50ns handoff.
+	d1 := sc.Send(0, 1, []byte("a"))
+	d2 := sc.Send(0, 2, []byte("b"))
+	if d2 < d1+50*sim.Nanosecond {
+		t.Fatalf("dispatcher must serialize: %v then %v", d1, d2)
+	}
+}
+
+func TestSharedConnRespectsCredits(t *testing.T) {
+	sc, server := newShared(t)
+	for i := 0; i < 8; i++ {
+		if !sc.CanSend() {
+			t.Fatalf("credit exhausted at %d", i)
+		}
+		sc.Send(0, i, []byte("x"))
+	}
+	if sc.CanSend() {
+		t.Fatal("full shared ring must refuse sends")
+	}
+	payload, idx, _ := server.NextRequest()
+	server.Complete(idx)
+	server.Respond(0, payload)
+	if _, _, ok := sc.PollResponse(); !ok {
+		t.Fatal("response missing")
+	}
+	if !sc.CanSend() {
+		t.Fatal("credit must return")
+	}
+}
+
+func TestSharedConnPollOnEmpty(t *testing.T) {
+	sc, _ := newShared(t)
+	if _, _, ok := sc.PollResponse(); ok {
+		t.Fatal("empty poll must report nothing")
+	}
+	if sc.Stats() == "" {
+		t.Fatal("stats")
+	}
+}

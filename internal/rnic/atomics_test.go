@@ -1,0 +1,95 @@
+package rnic
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rambda/internal/sim"
+)
+
+func TestFetchAdd(t *testing.T) {
+	a, b, qa, _ := newPair(t)
+	target := b.dram.Base + 8
+	var init [8]byte
+	binary.LittleEndian.PutUint64(init[:], 100)
+	b.space.Write(target, init[:])
+
+	qa.PostSend(WQE{Op: OpFetchAdd, LocalAddr: a.dram.Base, RemoteAddr: target, Add: 42})
+	res := qa.Doorbell(0)
+	// Remote word updated.
+	got := make([]byte, 8)
+	b.space.Read(target, got)
+	if binary.LittleEndian.Uint64(got) != 142 {
+		t.Fatalf("remote=%d, want 142", binary.LittleEndian.Uint64(got))
+	}
+	// Original value returned locally.
+	a.space.Read(a.dram.Base, got)
+	if binary.LittleEndian.Uint64(got) != 100 {
+		t.Fatalf("returned=%d, want 100", binary.LittleEndian.Uint64(got))
+	}
+	// Atomic needs a full network round trip.
+	if res[0].RemoteVisible < 4*sim.Microsecond {
+		t.Fatalf("atomic done=%v, needs a round trip", res[0].RemoteVisible)
+	}
+	if qa.Stats().Atomics != 1 {
+		t.Fatal("atomic not counted")
+	}
+}
+
+func TestCompSwap(t *testing.T) {
+	a, b, qa, _ := newPair(t)
+	target := b.dram.Base + 16
+	var init [8]byte
+	binary.LittleEndian.PutUint64(init[:], 7)
+	b.space.Write(target, init[:])
+
+	// Matching compare: swap happens, original returned.
+	qa.PostSend(WQE{Op: OpCompSwap, LocalAddr: a.dram.Base, RemoteAddr: target, Compare: 7, Swap: 99})
+	qa.Doorbell(0)
+	got := make([]byte, 8)
+	b.space.Read(target, got)
+	if binary.LittleEndian.Uint64(got) != 99 {
+		t.Fatalf("swap failed: %d", binary.LittleEndian.Uint64(got))
+	}
+	a.space.Read(a.dram.Base, got)
+	if binary.LittleEndian.Uint64(got) != 7 {
+		t.Fatalf("returned=%d, want 7", binary.LittleEndian.Uint64(got))
+	}
+
+	// Mismatching compare: no swap, current value returned.
+	qa.PostSend(WQE{Op: OpCompSwap, LocalAddr: a.dram.Base, RemoteAddr: target, Compare: 7, Swap: 123})
+	qa.Doorbell(sim.Microsecond)
+	b.space.Read(target, got)
+	if binary.LittleEndian.Uint64(got) != 99 {
+		t.Fatalf("mismatched CAS mutated memory: %d", binary.LittleEndian.Uint64(got))
+	}
+	a.space.Read(a.dram.Base, got)
+	if binary.LittleEndian.Uint64(got) != 99 {
+		t.Fatalf("returned=%d, want current 99", binary.LittleEndian.Uint64(got))
+	}
+}
+
+func TestAtomicsSerializeAtResponder(t *testing.T) {
+	a, b, qa, _ := newPair(t)
+	_ = a
+	target := b.dram.Base + 24
+	// Many concurrent fetch-adds: the responder's atomic unit
+	// serializes them, and the final value reflects every increment.
+	const n = 32
+	for i := 0; i < n; i++ {
+		qa.PostSend(WQE{Op: OpFetchAdd, LocalAddr: a.dram.Base, RemoteAddr: target, Add: 1})
+	}
+	results := qa.Doorbell(0)
+	got := make([]byte, 8)
+	b.space.Read(target, got)
+	if binary.LittleEndian.Uint64(got) != n {
+		t.Fatalf("final=%d, want %d", binary.LittleEndian.Uint64(got), n)
+	}
+	// Serialization: the batch must take at least n * 60ns of atomic
+	// unit occupancy beyond a single op's latency.
+	single := results[0].RemoteVisible
+	last := results[n-1].RemoteVisible
+	if last < single+sim.Duration(n-1)*60*sim.Nanosecond {
+		t.Fatalf("atomics did not serialize: first=%v last=%v", single, last)
+	}
+}

@@ -1,0 +1,161 @@
+// Package rpc implements the HERD-style RPC protocol the prototype
+// adopts (paper Sec. V: "We adopt HERD's RPC protocol for its
+// simplicity, but any advanced RPC stack could be applied") and the
+// optional APU (de)serializer of Sec. III-C: a compact fixed header
+// carrying request identity and method, a field-oriented serializer for
+// structured payloads, and a cycle-cost model so the accelerator can
+// charge (de)serialization work.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderBytes is the fixed RPC header: [4B request id][1B method]
+// [1B status][2B payload length].
+const HeaderBytes = 8
+
+// Message is a parsed RPC message.
+type Message struct {
+	ReqID   uint32
+	Method  uint8
+	Status  uint8
+	Payload []byte
+}
+
+// Encode frames a message.
+func Encode(m Message) []byte {
+	if len(m.Payload) > 0xFFFF {
+		panic(fmt.Sprintf("rpc: payload %d exceeds 64 KiB", len(m.Payload)))
+	}
+	buf := make([]byte, HeaderBytes+len(m.Payload))
+	binary.LittleEndian.PutUint32(buf[0:4], m.ReqID)
+	buf[4] = m.Method
+	buf[5] = m.Status
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(m.Payload)))
+	copy(buf[HeaderBytes:], m.Payload)
+	return buf
+}
+
+// Decode parses a framed message. The returned payload aliases b.
+func Decode(b []byte) (Message, error) {
+	if len(b) < HeaderBytes {
+		return Message{}, fmt.Errorf("rpc: short message (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[6:8]))
+	if len(b) < HeaderBytes+n {
+		return Message{}, fmt.Errorf("rpc: truncated payload: have %d, want %d", len(b)-HeaderBytes, n)
+	}
+	return Message{
+		ReqID:   binary.LittleEndian.Uint32(b[0:4]),
+		Method:  b[4],
+		Status:  b[5],
+		Payload: b[HeaderBytes : HeaderBytes+n],
+	}, nil
+}
+
+// DeserializeCycles models the APU's (de)serializer cost: a fixed
+// header-parse cost plus a per-16-byte streaming cost, matching a
+// pipelined hardware deserializer.
+func DeserializeCycles(payloadBytes int) int {
+	return 4 + (payloadBytes+15)/16
+}
+
+// Writer serializes structured fields into a payload.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the serialized payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U32 and U64 append fixed-width integers.
+func (w *Writer) U32(v uint32) *Writer {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// U64 appends a fixed-width 64-bit integer.
+func (w *Writer) U64(v uint64) *Writer {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Blob appends a length-prefixed byte field.
+func (w *Writer) Blob(b []byte) *Writer {
+	if len(b) > 0xFFFF {
+		panic("rpc: blob exceeds 64 KiB")
+	}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(b)))
+	w.buf = append(w.buf, l[:]...)
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// String appends a length-prefixed string field.
+func (w *Writer) String(s string) *Writer { return w.Blob([]byte(s)) }
+
+// Reader deserializes fields written by Writer, in order.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("rpc: field overruns payload at offset %d", r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U32 reads a fixed-width 32-bit integer.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed-width 64-bit integer.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Blob reads a length-prefixed byte field (aliasing the payload).
+func (r *Reader) Blob() []byte {
+	l := r.take(2)
+	if l == nil {
+		return nil
+	}
+	return r.take(int(binary.LittleEndian.Uint16(l)))
+}
+
+// String reads a length-prefixed string field.
+func (r *Reader) String() string { return string(r.Blob()) }
+
+// Remaining reports unread payload bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }

@@ -1,0 +1,99 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{ReqID: 7, Method: 3, Status: 1, Payload: []byte("payload")}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReqID != 7 || got.Method != 3 || got.Status != 1 || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	full := Encode(Message{ReqID: 1, Payload: []byte("abcdef")})
+	if _, err := Decode(full[:HeaderBytes+2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestEncodePanicsOnHugePayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(Message{Payload: make([]byte, 1<<17)})
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(id uint32, method, status uint8, payload []byte) bool {
+		if len(payload) > 0xFFFF {
+			payload = payload[:0xFFFF]
+		}
+		m := Message{ReqID: id, Method: method, Status: status, Payload: payload}
+		got, err := Decode(Encode(m))
+		return err == nil && got.ReqID == id && got.Method == method &&
+			got.Status == status && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldSerializerRoundTrip(t *testing.T) {
+	w := &Writer{}
+	w.U32(42).U64(1 << 40).String("hello").Blob([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if r.U32() != 42 || r.U64() != 1<<40 || r.String() != "hello" {
+		t.Fatal("fields")
+	}
+	if !bytes.Equal(r.Blob(), []byte{1, 2, 3}) {
+		t.Fatal("blob")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestReaderOverrunSetsError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if r.U32() != 0 || r.Err() == nil {
+		t.Fatal("overrun must error")
+	}
+	// Subsequent reads stay safe.
+	if r.U64() != 0 || r.Blob() != nil || r.String() != "" {
+		t.Fatal("post-error reads must be zero-valued")
+	}
+}
+
+func TestDeserializeCyclesMonotone(t *testing.T) {
+	if DeserializeCycles(0) <= 0 {
+		t.Fatal("header parse must cost cycles")
+	}
+	if DeserializeCycles(1024) <= DeserializeCycles(64) {
+		t.Fatal("larger payloads must cost more")
+	}
+}
+
+func TestFieldsCorruptionDetected(t *testing.T) {
+	w := &Writer{}
+	w.String("abc")
+	raw := w.Bytes()
+	raw[0] = 0xFF // corrupt the length prefix upward
+	raw[1] = 0xFF
+	r := NewReader(raw)
+	if r.Blob() != nil || r.Err() == nil {
+		t.Fatal("oversized length prefix must be rejected")
+	}
+}

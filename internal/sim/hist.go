@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram collects latency samples and reports order statistics.
+// Samples are stored exactly up to a cap, after which a deterministic
+// every-kth thinning keeps memory bounded while preserving the
+// distribution's shape for large runs.
+type Histogram struct {
+	samples []Time
+	stride  int64 // record every stride-th sample once past cap
+	seen    int64
+	sum     Time
+	min     Time
+	max     Time
+	cap     int
+}
+
+// DefaultHistogramCap bounds the number of retained samples.
+const DefaultHistogramCap = 1 << 20
+
+// NewHistogram creates a histogram retaining at most cap samples
+// (DefaultHistogramCap if cap <= 0).
+func NewHistogram(cap int) *Histogram {
+	if cap <= 0 {
+		cap = DefaultHistogramCap
+	}
+	return &Histogram{stride: 1, min: MaxTime, cap: cap}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v Time) {
+	h.seen++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if h.seen%h.stride != 0 {
+		return
+	}
+	if len(h.samples) >= h.cap {
+		// Thin: keep every other retained sample and double the stride.
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+		if h.seen%h.stride != 0 {
+			return
+		}
+	}
+	h.samples = append(h.samples, v)
+}
+
+// Count returns the number of recorded samples (including thinned ones).
+func (h *Histogram) Count() int64 { return h.seen }
+
+// Mean returns the exact mean over all recorded samples.
+func (h *Histogram) Mean() Time {
+	if h.seen == 0 {
+		return 0
+	}
+	return Time(int64(h.sum) / h.seen)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() Time {
+	if h.seen == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() Time { return h.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) over retained
+// samples. The retained set is exact for runs under the cap.
+func (h *Histogram) Percentile(p float64) Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]Time, len(h.samples))
+	copy(s, h.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := int(float64(len(s))*p/100+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// P50, P99, P999 are common percentile shorthands.
+func (h *Histogram) P50() Time  { return h.Percentile(50) }
+func (h *Histogram) P99() Time  { return h.Percentile(99) }
+func (h *Histogram) P999() Time { return h.Percentile(99.9) }
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.seen, h.Mean(), h.P50(), h.P99(), h.Max())
+}

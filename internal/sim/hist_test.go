@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Record(Time(i) * Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if h.Min() != Microsecond || h.Max() != 100*Microsecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != Time(50.5*float64(Microsecond)) {
+		t.Fatalf("mean=%v", got)
+	}
+	if got := h.P50(); got != 50*Microsecond {
+		t.Fatalf("p50=%v", got)
+	}
+	if got := h.P99(); got != 99*Microsecond {
+		t.Fatalf("p99=%v", got)
+	}
+	if got := h.Percentile(100); got != 100*Microsecond {
+		t.Fatalf("p100=%v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramThinningPreservesShape(t *testing.T) {
+	h := NewHistogram(1024)
+	// 1M uniformly distributed samples; p50 should remain near 500us.
+	r := NewRNG(3)
+	for i := 0; i < 1000000; i++ {
+		h.Record(Time(r.Intn(1000)) * Microsecond)
+	}
+	if h.Count() != 1000000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	p50 := h.P50()
+	if p50 < 400*Microsecond || p50 > 600*Microsecond {
+		t.Fatalf("thinned p50=%v drifted too far from 500us", p50)
+	}
+}
+
+func TestHistogramPercentileMatchesSort(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(1 << 20)
+		vals := make([]Time, len(raw))
+		for i, v := range raw {
+			vals[i] = Time(v) * Nanosecond
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		idx := int(float64(len(vals))*0.5+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return h.P50() == vals[idx]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0)
+	h.Record(Microsecond)
+	if h.String() == "" {
+		t.Fatal("empty string")
+	}
+}

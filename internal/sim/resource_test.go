@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSingleServerSerialization(t *testing.T) {
+	r := NewResource("link", 1, 10*Nanosecond, 0, 0)
+	_, d1 := r.Acquire(0, 0)
+	if d1 != 10*Nanosecond {
+		t.Fatalf("first op done at %v, want 10ns", d1)
+	}
+	// Second op arriving at t=0 must queue behind the first.
+	s2, d2 := r.Acquire(0, 0)
+	if s2 != 10*Nanosecond || d2 != 20*Nanosecond {
+		t.Fatalf("second op start=%v done=%v, want 10ns/20ns", s2, d2)
+	}
+	// An op arriving after the queue drains starts immediately.
+	s3, _ := r.Acquire(100*Nanosecond, 0)
+	if s3 != 100*Nanosecond {
+		t.Fatalf("third op start=%v, want 100ns", s3)
+	}
+}
+
+func TestResourceBandwidth(t *testing.T) {
+	// 1 GB/s => 1000 bytes take 1us.
+	r := NewResource("mem", 1, 0, 1e9, 0)
+	_, done := r.Acquire(0, 1000)
+	if done != Microsecond {
+		t.Fatalf("1000B @1GB/s done at %v, want 1us", done)
+	}
+	if got := r.ServiceTime(500); got != 500*Nanosecond {
+		t.Fatalf("ServiceTime(500) = %v, want 500ns", got)
+	}
+}
+
+func TestResourcePropagationDoesNotOccupy(t *testing.T) {
+	r := NewResource("wire", 1, 10*Nanosecond, 0, 500*Nanosecond)
+	_, d1 := r.Acquire(0, 0)
+	if d1 != 510*Nanosecond {
+		t.Fatalf("done=%v, want 510ns", d1)
+	}
+	// The server frees at 10ns, not 510ns.
+	s2, _ := r.Acquire(0, 0)
+	if s2 != 10*Nanosecond {
+		t.Fatalf("second start=%v, want 10ns (propagation must not occupy)", s2)
+	}
+}
+
+func TestResourceMultiServerParallelism(t *testing.T) {
+	r := NewResource("cores", 4, 100*Nanosecond, 0, 0)
+	for i := 0; i < 4; i++ {
+		_, done := r.Acquire(0, 0)
+		if done != 100*Nanosecond {
+			t.Fatalf("op %d done at %v, want 100ns (4 servers)", i, done)
+		}
+	}
+	// Fifth op queues.
+	s, _ := r.Acquire(0, 0)
+	if s != 100*Nanosecond {
+		t.Fatalf("fifth op start=%v, want 100ns", s)
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	r := NewResource("x", 2, 10*Nanosecond, 0, 0)
+	r.Acquire(0, 100)
+	r.Acquire(0, 200)
+	if r.Ops() != 2 || r.Bytes() != 300 {
+		t.Fatalf("ops=%d bytes=%d", r.Ops(), r.Bytes())
+	}
+	if r.BusyTime() != 20*Nanosecond {
+		t.Fatalf("busy=%v", r.BusyTime())
+	}
+	if u := r.Utilization(10 * Nanosecond); u != 1.0 {
+		t.Fatalf("utilization=%v, want 1.0", u)
+	}
+	r.Reset()
+	if r.Ops() != 0 || r.BusyTime() != 0 || r.NextFree() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestResourceThroughputMatchesBandwidth(t *testing.T) {
+	// Saturating a 10 GB/s resource with 64B ops must yield ~10 GB/s.
+	r := NewResource("bw", 1, 0, 10e9, 0)
+	var done Time
+	n := 100000
+	for i := 0; i < n; i++ {
+		_, done = r.Acquire(0, 64)
+	}
+	gbps := float64(n*64) / done.Seconds() / 1e9
+	if gbps < 9.99 || gbps > 10.01 {
+		t.Fatalf("achieved %v GB/s, want ~10", gbps)
+	}
+}
+
+func TestResourceMonotonicity(t *testing.T) {
+	// Property: with a single server and a FIFO stream of arrivals with
+	// non-decreasing times, completion times are non-decreasing and never
+	// precede arrival. (With capacity > 1 a later small op may finish
+	// before an earlier large one, which is correct behaviour.)
+	f := func(gaps []uint8, sizes []uint8) bool {
+		r := NewResource("p", 1, 5*Nanosecond, 1e9, 3*Nanosecond)
+		now := Time(0)
+		last := Time(0)
+		for i := range gaps {
+			now += Time(gaps[i]) * Nanosecond
+			size := 0
+			if i < len(sizes) {
+				size = int(sizes[i])
+			}
+			start, done := r.Acquire(now, size)
+			if start < now || done < start || done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourcePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewResource("bad", 0, 0, 0, 0)
+}

@@ -1,0 +1,84 @@
+// Package sim provides the deterministic virtual-time simulation engine
+// underlying every hardware model in this repository: a picosecond clock,
+// multi-server FCFS resources, open- and closed-loop load drivers,
+// deterministic random number generation, and latency statistics.
+//
+// The engine is intentionally not a general discrete-event simulator.
+// Requests are walked through resources in issue order and each resource
+// hands out (start, done) windows with Acquire; this keeps the model
+// allocation-light and deterministic while still reproducing queueing
+// effects (saturation, crossover points, tail latency). See DESIGN.md
+// for the approximation this implies.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in integer picoseconds from
+// the start of the simulation. Picosecond resolution lets bandwidth
+// models express sub-nanosecond per-byte costs without floating-point
+// drift while still covering ~106 days of simulated time in an int64.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000 * Picosecond
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds returns the time as floating-point nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns the time as floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	}
+}
+
+// FromSeconds converts floating-point seconds into a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromNanoseconds converts floating-point nanoseconds into a Time.
+func FromNanoseconds(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = 1<<63 - 1
+
+// Max returns the later of two times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of two times.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond ||
+		Microsecond != 1000*Nanosecond || Nanosecond != 1000*Picosecond {
+		t.Fatal("unit ladder broken")
+	}
+	if got := (2 * Microsecond).Nanoseconds(); got != 2000 {
+		t.Errorf("2us = %v ns, want 2000", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+	if got := FromNanoseconds(90); got != 90*Nanosecond {
+		t.Errorf("FromNanoseconds(90) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{90 * Nanosecond, "90.00ns"},
+		{2500 * Nanosecond, "2.50us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.0000s"},
+		{-90 * Nanosecond, "-90.00ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 || Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Fatal("Max/Min broken")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ms int32) bool {
+		tm := Time(ms) * Millisecond
+		return math.Abs(tm.Seconds()-float64(ms)/1000) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package smartnic models the NVIDIA BlueField-2 SmartNIC used as the
+// paper's SmartNIC-offloading baseline (Tab. II): eight ARM A72 cores,
+// 16 GB of on-board DDR4, and host-memory access via one-sided RDMA
+// over the PCIe link — the path whose cost Fig. 1 quantifies and whose
+// cache-miss behaviour drives Figs. 8–9's SmartNIC results.
+package smartnic
+
+import (
+	"container/list"
+
+	"rambda/internal/interconnect"
+	"rambda/internal/memdev"
+	"rambda/internal/sim"
+)
+
+// Config describes the SmartNIC SoC.
+type Config struct {
+	Name    string
+	Cores   int     // ARM cores (8)
+	ClockHz float64 // 2.5 GHz
+
+	// On-board DRAM.
+	LocalBW      float64
+	LocalLatency sim.Duration
+
+	// Host access path: PCIe bandwidth plus the fixed round-trip
+	// overhead of "the physical PCIe link, memory management unit
+	// (MMU), DMA engine, and I/O controller" (paper Sec. II-B).
+	PCIeBW        float64
+	HostRoundTrip sim.Duration
+}
+
+// DefaultConfig returns the BlueField-2 parameters from Tab. II,
+// calibrated against Fig. 1's measured access latencies.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:          name,
+		Cores:         8,
+		ClockHz:       2.5e9,
+		LocalBW:       19e9,
+		LocalLatency:  110 * sim.Nanosecond,
+		PCIeBW:        16e9,
+		HostRoundTrip: 1600 * sim.Nanosecond,
+	}
+}
+
+// SmartNIC is the SoC model.
+type SmartNIC struct {
+	cfg   Config
+	cores *sim.Resource
+	local *memdev.DRAM
+	pcie  *interconnect.PCIe
+	host  *memdev.System
+
+	localAccesses, hostAccesses int64
+}
+
+// New builds a SmartNIC whose host accesses land in the given host
+// memory system (nil host is allowed for purely local workloads).
+func New(cfg Config, host *memdev.System) *SmartNIC {
+	if cfg.Cores <= 0 || cfg.ClockHz <= 0 {
+		panic("smartnic: bad config")
+	}
+	return &SmartNIC{
+		cfg:   cfg,
+		cores: sim.NewResource(cfg.Name+":arm", cfg.Cores, 0, cfg.ClockHz, 0),
+		local: memdev.NewDRAM(cfg.Name+":ddr", 1, cfg.LocalBW, cfg.LocalLatency),
+		pcie:  interconnect.NewPCIe(cfg.Name+":pcie", cfg.PCIeBW, cfg.HostRoundTrip/2, 400*sim.Nanosecond),
+		host:  host,
+	}
+}
+
+// Config returns the SoC configuration.
+func (s *SmartNIC) Config() Config { return s.cfg }
+
+// Exec occupies an ARM core for `cycles` cycles.
+func (s *SmartNIC) Exec(now sim.Time, cycles int) sim.Time {
+	_, done := s.cores.Acquire(now, cycles)
+	return done
+}
+
+// Cores exposes the ARM pool.
+func (s *SmartNIC) Cores() *sim.Resource { return s.cores }
+
+// LocalAccess reads or writes on-board DRAM with load/store
+// instructions.
+func (s *SmartNIC) LocalAccess(now sim.Time, bytes int) sim.Time {
+	s.localAccesses++
+	return s.local.Access(now, bytes)
+}
+
+// LocalAccessOverlapped hides local latency across `overlap` streams.
+func (s *SmartNIC) LocalAccessOverlapped(now sim.Time, bytes, overlap int) sim.Time {
+	s.localAccesses++
+	return s.local.AccessOverlapped(now, bytes, overlap)
+}
+
+// HostAccess reaches host memory with a one-sided RDMA read/write over
+// PCIe (direct verbs, paper Sec. II-B). overlap > 1 models
+// batching/pipelining that hides part of the round trip.
+func (s *SmartNIC) HostAccess(now sim.Time, bytes, overlap int) sim.Time {
+	if overlap < 1 {
+		overlap = 1
+	}
+	s.hostAccesses++
+	// Request descriptor toward the host, payload back (or forth).
+	at := s.pcie.DMA(now, bytes)
+	if s.host != nil {
+		at = s.host.DRAM.AccessOverlapped(at, bytes, overlap)
+	}
+	// The fixed round-trip overhead, partially hidden by pipelining;
+	// the PCIe propagation already covered half a crossing.
+	visible := s.cfg.HostRoundTrip / 2 / sim.Duration(overlap)
+	return at + visible
+}
+
+// LocalAccesses and HostAccesses report traffic counters.
+func (s *SmartNIC) LocalAccesses() int64 { return s.localAccesses }
+func (s *SmartNIC) HostAccesses() int64  { return s.hostAccesses }
+
+// LRUCache is the on-board software cache of recently accessed hash
+// entries and key-value pairs (paper Sec. VI-B allocates 512 MB of the
+// SmartNIC's DRAM for it). Capacity is accounted in bytes.
+type LRUCache struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recent; values are *cacheEntry
+	byKey    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	val  []byte
+	size int64
+}
+
+// NewLRUCache builds a byte-bounded LRU cache.
+func NewLRUCache(capacityBytes int64) *LRUCache {
+	if capacityBytes <= 0 {
+		panic("smartnic: cache capacity must be positive")
+	}
+	return &LRUCache{
+		capacity: capacityBytes,
+		order:    list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+func entrySize(key string, val []byte) int64 {
+	// Key + value + bookkeeping overhead (hash entry).
+	return int64(len(key) + len(val) + 32)
+}
+
+// Get returns the cached value and refreshes recency.
+func (c *LRUCache) Get(key string) ([]byte, bool) {
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes a value, evicting LRU entries to fit.
+func (c *LRUCache) Put(key string, val []byte) {
+	size := entrySize(key, val)
+	if size > c.capacity {
+		return // larger than the whole cache: uncacheable
+	}
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.used += size - e.size
+		e.val, e.size = val, size
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&cacheEntry{key: key, val: val, size: size})
+		c.byKey[key] = el
+		c.used += size
+	}
+	for c.used > c.capacity {
+		back := c.order.Back()
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.byKey, e.key)
+		c.used -= e.size
+	}
+}
+
+// Invalidate drops a key (e.g. on a PUT that must reach host memory).
+func (c *LRUCache) Invalidate(key string) {
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		c.used -= e.size
+	}
+}
+
+// UsedBytes reports current occupancy.
+func (c *LRUCache) UsedBytes() int64 { return c.used }
+
+// Len reports the number of cached entries.
+func (c *LRUCache) Len() int { return c.order.Len() }
+
+// HitRate reports the lifetime hit ratio.
+func (c *LRUCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,190 @@
+// Package rambda is the public API of this repository: a full-system,
+// simulation-backed reproduction of "RAMBDA: RDMA-driven Acceleration
+// Framework for Memory-intensive µs-scale Datacenter Applications"
+// (HPCA 2023).
+//
+// The package re-exports the framework's core concepts so applications
+// can be written against a stable surface:
+//
+//   - Machines (CPU + memory devices + coherence domain + RNIC +
+//     optional cc-accelerator) built from the paper's testbed
+//     parameters.
+//   - The RAMBDA server runtime: request/response rings, cpoll
+//     notification (direct-pinned or pointer-buffer), the APU plug-in
+//     interface, and the SQ handler driving the NIC.
+//   - Remote (RDMA) and intra-machine clients.
+//   - The CPU baseline server for comparisons.
+//   - The virtual-time toolkit (clock, load drivers, histograms) that
+//     every benchmark in this repository uses.
+//
+// See examples/quickstart for a minimal end-to-end application and
+// DESIGN.md for the system inventory.
+package rambda
+
+import (
+	"rambda/internal/core"
+	"rambda/internal/cpoll"
+	"rambda/internal/hostcpu"
+	"rambda/internal/memspace"
+	"rambda/internal/sim"
+)
+
+// Virtual time.
+type (
+	// Time is a point in virtual time (picoseconds).
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// Histogram collects latency samples.
+	Histogram = sim.Histogram
+	// ClosedLoop drives closed-loop load.
+	ClosedLoop = sim.ClosedLoop
+	// Result summarizes a load run.
+	Result = sim.Result
+	// RNG is the deterministic random source used across experiments.
+	RNG = sim.RNG
+)
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// NewHistogram creates a latency histogram (cap <= 0 for the default).
+func NewHistogram(cap int) *Histogram { return sim.NewHistogram(cap) }
+
+// Memory.
+type (
+	// Addr is a physical address in a machine's unified space.
+	Addr = memspace.Addr
+	// MemKind classifies backing memory (DRAM/NVM/accelerator-local).
+	MemKind = memspace.Kind
+	// Region is an allocated, backed span of the address space.
+	Region = memspace.Region
+)
+
+// Memory kinds.
+const (
+	DRAM       = memspace.KindDRAM
+	NVM        = memspace.KindNVM
+	AccelLocal = memspace.KindAccelLocal
+)
+
+// Machines.
+type (
+	// Machine is one server or client box.
+	Machine = core.Machine
+	// MachineConfig selects a machine's hardware.
+	MachineConfig = core.MachineConfig
+	// Variant selects the cc-accelerator build.
+	Variant = core.AccelVariant
+)
+
+// Accelerator variants.
+const (
+	// NoAccel builds a plain machine (client or CPU-baseline server).
+	NoAccel = core.NoAccel
+	// Prototype is the paper's in-package FPGA with no local memory.
+	Prototype = core.AccelBase
+	// LocalDDR is the RAMBDA-LD projection (U280 DDR4).
+	LocalDDR = core.AccelLD
+	// LocalHBM is the RAMBDA-LH projection (U280 HBM2).
+	LocalHBM = core.AccelLH
+)
+
+// NewMachine builds a machine from the paper's testbed parameters.
+func NewMachine(cfg MachineConfig) *Machine { return core.NewMachine(cfg) }
+
+// Connect wires two machines' RNICs with a 25 GbE duplex path.
+func Connect(a, b *Machine) { core.ConnectMachines(a, b) }
+
+// Framework.
+type (
+	// App is the application processing unit plug-in: the only
+	// application-specific part of a RAMBDA accelerator.
+	App = core.App
+	// AppFunc adapts a function to App.
+	AppFunc = core.AppFunc
+	// AppCtx provides the APU's standard interfaces (coherent
+	// read/write, compute, CPU invocation).
+	AppCtx = core.AppCtx
+	// Server is a RAMBDA server instance.
+	Server = core.Server
+	// ServerOptions sizes a server's rings and notification mechanism.
+	ServerOptions = core.ServerOptions
+	// Client is a remote (RDMA) client connection.
+	Client = core.Client
+	// LocalClient is an intra-machine client connection.
+	LocalClient = core.LocalClient
+	// NotifyMode selects cpoll vs spin-polling.
+	NotifyMode = core.NotifyMode
+	// CpollMode selects the cpoll region layout.
+	CpollMode = cpoll.Mode
+	// Breakdown decomposes one request's latency into pipeline stages
+	// (see Client.CallTraced).
+	Breakdown = core.Breakdown
+)
+
+// Notification options.
+const (
+	// Cpoll is coherence-assisted notification (the paper's design).
+	Cpoll = core.NotifyCpoll
+	// SpinPolling is the conventional polling ablation.
+	SpinPolling = core.NotifyPolling
+	// DirectPinned pins the rings themselves as the cpoll region.
+	DirectPinned = cpoll.Direct
+	// PointerBuffer pins a compact per-ring counter array instead.
+	PointerBuffer = cpoll.PointerBuffer
+)
+
+// DefaultServerOptions mirrors the prototype configuration.
+func DefaultServerOptions() ServerOptions { return core.DefaultServerOptions() }
+
+// NewServer allocates a RAMBDA server on a machine with an accelerator.
+func NewServer(m *Machine, app App, opts ServerOptions) *Server {
+	return core.NewServer(m, app, opts)
+}
+
+// Dial establishes remote connection idx from client machine cm.
+func Dial(cm *Machine, s *Server, idx int) *Client {
+	return core.ConnectClient(cm, s, idx)
+}
+
+// DialLocal establishes intra-machine connection idx.
+func DialLocal(s *Server, idx int) *LocalClient {
+	return core.ConnectLocalClient(s, idx)
+}
+
+// CPU baseline.
+type (
+	// CPUServer is the two-sided-RDMA CPU baseline server.
+	CPUServer = core.CPUServer
+	// CPUServerOptions sizes the baseline.
+	CPUServerOptions = core.CPUServerOptions
+	// CPUHandler computes a response and the core/memory work to charge.
+	CPUHandler = core.CPUHandler
+	// CPUClient is a remote client of the baseline.
+	CPUClient = core.CPUClient
+	// Work describes one request's execution on a server core (cycles,
+	// memory accesses, batching/latency-hiding factors).
+	Work = hostcpu.Work
+)
+
+// DefaultCPUServerOptions mirrors the evaluation configuration.
+func DefaultCPUServerOptions() CPUServerOptions { return core.DefaultCPUServerOptions() }
+
+// NewCPUServer allocates the baseline server.
+func NewCPUServer(m *Machine, h CPUHandler, opts CPUServerOptions) *CPUServer {
+	return core.NewCPUServer(m, h, opts)
+}
+
+// DialCPU establishes remote connection idx to the baseline server.
+func DialCPU(cm *Machine, s *CPUServer, idx int) *CPUClient {
+	return core.ConnectCPUClient(cm, s, idx)
+}

@@ -1,0 +1,94 @@
+package rambda_test
+
+import (
+	"testing"
+
+	"rambda"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	server := rambda.NewMachine(rambda.MachineConfig{Name: "server", Variant: rambda.Prototype})
+	client := rambda.NewMachine(rambda.MachineConfig{Name: "client"})
+	rambda.Connect(server, client)
+
+	data := server.Space.Alloc("data", 4096, rambda.DRAM)
+	server.Space.Write(data.Base, []byte("facade"))
+
+	app := rambda.AppFunc(func(ctx *rambda.AppCtx, now rambda.Time, req []byte) ([]byte, rambda.Time) {
+		t := ctx.Read(now, data.Base, 6)
+		out := make([]byte, 6)
+		server.Space.Read(data.Base, out)
+		return out, ctx.Compute(t, 4)
+	})
+	opts := rambda.DefaultServerOptions()
+	opts.Connections = 2
+	srv := rambda.NewServer(server, app, opts)
+
+	conn := rambda.Dial(client, srv, 0)
+	resp, done := conn.Call(0, []byte("x"))
+	if string(resp) != "facade" {
+		t.Fatalf("resp=%q", resp)
+	}
+	if done <= 0 || done > 100*rambda.Microsecond {
+		t.Fatalf("done=%v", done)
+	}
+
+	local := rambda.DialLocal(srv, 1)
+	resp, _ = local.Call(done, []byte("y"))
+	if string(resp) != "facade" {
+		t.Fatalf("local resp=%q", resp)
+	}
+	if srv.Served() != 2 {
+		t.Fatalf("served=%d", srv.Served())
+	}
+}
+
+func TestFacadeVariantsAndModes(t *testing.T) {
+	for _, v := range []rambda.Variant{rambda.Prototype, rambda.LocalDDR, rambda.LocalHBM} {
+		m := rambda.NewMachine(rambda.MachineConfig{Name: "m", Variant: v, AccelLocalBytes: 1 << 16})
+		if m.Accel == nil {
+			t.Fatalf("variant %v has no accelerator", v)
+		}
+	}
+	if rambda.NewMachine(rambda.MachineConfig{Name: "m"}).Accel != nil {
+		t.Fatal("NoAccel machine must have no accelerator")
+	}
+	opts := rambda.DefaultServerOptions()
+	opts.Mode = rambda.DirectPinned
+	opts.Notify = rambda.SpinPolling
+	opts.Connections = 2
+	opts.RingEntries = 8
+	opts.EntryBytes = 64
+	m := rambda.NewMachine(rambda.MachineConfig{Name: "srv", Variant: rambda.Prototype})
+	srv := rambda.NewServer(m, rambda.AppFunc(
+		func(ctx *rambda.AppCtx, now rambda.Time, req []byte) ([]byte, rambda.Time) {
+			return req, now
+		}), opts)
+	c := rambda.DialLocal(srv, 0)
+	if resp, _ := c.Call(0, []byte("z")); string(resp) != "z" {
+		t.Fatalf("polling+direct echo = %q", resp)
+	}
+}
+
+func TestFacadeCPUBaseline(t *testing.T) {
+	sm := rambda.NewMachine(rambda.MachineConfig{Name: "srv"})
+	cm := rambda.NewMachine(rambda.MachineConfig{Name: "cli"})
+	rambda.Connect(sm, cm)
+	srv := rambda.NewCPUServer(sm, func(req []byte) ([]byte, rambda.Work) {
+		return append([]byte("ok:"), req...), rambda.Work{Cycles: 100}
+	}, cpuOpts())
+	c := rambda.DialCPU(cm, srv, 0)
+	resp, _ := c.Call(0, []byte("req"))
+	if string(resp) != "ok:req" {
+		t.Fatalf("resp=%q", resp)
+	}
+}
+
+func cpuOpts() rambda.CPUServerOptions {
+	o := rambda.DefaultCPUServerOptions()
+	o.Connections = 1
+	o.RingEntries = 8
+	return o
+}
