@@ -1,0 +1,35 @@
+# Convenience targets mirroring the CI pipeline (.github/workflows/ci.yml).
+
+GO ?= go
+PARALLEL ?= 0 # 0 = one worker per CPU (runner default)
+
+.PHONY: all build test race vet lint figures figures-quick clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked run of the packages that exercise the parallel harness.
+# The experiments suite runs multi-minute sweeps; give it headroom.
+race:
+	$(GO) test -race -timeout 45m ./internal/runner/... ./internal/experiments/... ./internal/sim/...
+
+vet:
+	$(GO) vet ./...
+
+# Requires golangci-lint on PATH (CI installs it via the official action).
+lint:
+	golangci-lint run
+
+figures:
+	$(GO) run ./cmd/rambda-figures -parallel $(PARALLEL)
+
+figures-quick:
+	$(GO) run ./cmd/rambda-figures -quick -parallel $(PARALLEL)
+
+clean:
+	$(GO) clean ./...

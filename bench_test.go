@@ -7,6 +7,8 @@
 package rambda_test
 
 import (
+	"flag"
+	"os"
 	"testing"
 
 	"rambda"
@@ -14,8 +16,21 @@ import (
 	"rambda/internal/cpoll"
 	"rambda/internal/dlrm"
 	"rambda/internal/experiments"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
+
+// -parallel mirrors cmd/rambda-figures: worker goroutines fanning each
+// experiment's sweep points (0 = one per CPU, 1 = sequential). Usage:
+// go test -bench=. -args -parallel 4. Results are bit-identical for
+// every value; only wall-clock changes.
+var benchParallel = flag.Int("parallel", 0, "experiment sweep workers (0 = NumCPU, 1 = sequential)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	runner.SetDefault(*benchParallel)
+	os.Exit(m.Run())
+}
 
 // --- Fig. 1: SmartNIC host-access latency ---
 
@@ -46,7 +61,7 @@ func BenchmarkFig5DDIOTPH(b *testing.B) {
 // --- Fig. 7: microbenchmark ---
 
 func fig7BenchConfig() experiments.Fig7Config {
-	return experiments.Fig7Config{Nodes: 1 << 16, Requests: 10000, Window: 16, Seed: 7}
+	return experiments.Fig7Config{Nodes: 1 << 16, Requests: 10000, Window: 16, Seed: 7, Parallel: *benchParallel}
 }
 
 func BenchmarkFig7Microbenchmark(b *testing.B) {
@@ -69,6 +84,7 @@ func kvsBenchConfig() experiments.KVSConfig {
 	cfg := experiments.DefaultKVSConfig()
 	cfg.Keys = 1 << 16
 	cfg.Requests = 8000
+	cfg.Parallel = *benchParallel
 	return cfg
 }
 
@@ -127,7 +143,7 @@ func BenchmarkTab3PowerEfficiency(b *testing.B) {
 // --- Fig. 12: chain-replicated transactions ---
 
 func BenchmarkFig12ChainTxLatency(b *testing.B) {
-	cfg := experiments.Fig12Config{Pairs: 4000, Transactions: 3000, Seed: 12}
+	cfg := experiments.Fig12Config{Pairs: 4000, Transactions: 3000, Seed: 12, Parallel: *benchParallel}
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Fig12(cfg)
 		for _, r := range rows {
@@ -141,7 +157,7 @@ func BenchmarkFig12ChainTxLatency(b *testing.B) {
 // --- Fig. 13: DLRM inference ---
 
 func BenchmarkFig13DLRMThroughput(b *testing.B) {
-	cfg := experiments.Fig13Config{Queries: 5000, Dim: 64, RowScale: 0.05, Seed: 13}
+	cfg := experiments.Fig13Config{Queries: 5000, Dim: 64, RowScale: 0.05, Seed: 13, Parallel: *benchParallel}
 	cat := dlrm.AmazonCategories[0]
 	for i := 0; i < b.N; i++ {
 		b.ReportMetric(experiments.Fig13CPUOne(cat, cfg, 8)/1e6, "Mqps-CPU-8")

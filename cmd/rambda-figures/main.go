@@ -3,24 +3,36 @@
 //
 // Usage:
 //
-//	go run ./cmd/rambda-figures              # everything
+//	go run ./cmd/rambda-figures              # everything, one worker per CPU
 //	go run ./cmd/rambda-figures -only fig8   # one experiment
 //	go run ./cmd/rambda-figures -quick       # smaller workloads
+//	go run ./cmd/rambda-figures -parallel 1  # sequential (pre-harness behaviour)
+//
+// Every figure enumerates its sweep as independent runner jobs; the
+// CLI flattens all selected figures into a single worker pool so whole
+// figures overlap with each other as well as their own points. Output
+// is printed in a fixed order from slot-indexed results, so it is
+// byte-identical for every -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"rambda/internal/experiments"
+	"rambda/internal/runner"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
 	flag.Parse()
+
+	runner.SetDefault(*parallel)
 
 	f7 := experiments.DefaultFig7Config()
 	kvs := experiments.DefaultKVSConfig()
@@ -38,32 +50,41 @@ func main() {
 		f13.RowScale = 0.1
 	}
 
-	runs := []struct {
-		id string
-		fn func() *experiments.Table
-	}{
-		{"fig1", func() *experiments.Table { return experiments.Fig1Table(fig1Requests, 1) }},
-		{"fig5", func() *experiments.Table { return experiments.Fig5Table() }},
-		{"fig7", func() *experiments.Table { return experiments.Fig7Table(f7) }},
-		{"fig8", func() *experiments.Table { return experiments.Fig8Table(kvs) }},
-		{"fig9", func() *experiments.Table { return experiments.Fig9Table(kvs) }},
-		{"fig10", func() *experiments.Table { return experiments.Fig10Table(kvs) }},
-		{"tab3", func() *experiments.Table { return experiments.Tab3Table(kvs) }},
-		{"fig12", func() *experiments.Table { return experiments.Fig12Table(f12) }},
-		{"fig13", func() *experiments.Table { return experiments.Fig13Table(f13) }},
-		{"scalability", func() *experiments.Table { return experiments.ScalabilityTable(experiments.DefaultScalabilityConfig()) }},
+	specs := []experiments.Spec{
+		experiments.Fig1Spec(fig1Requests, 1),
+		experiments.Fig5Spec(),
+		experiments.Fig7Spec(f7),
+		experiments.Fig8Spec(kvs),
+		experiments.Fig9Spec(kvs),
+		experiments.Fig10Spec(kvs),
+		experiments.Tab3Spec(kvs),
+		experiments.Fig12Spec(f12),
+		experiments.Fig13Spec(f13),
+		experiments.ScalabilitySpec(experiments.DefaultScalabilityConfig()),
 	}
 
-	matched := false
-	for _, r := range runs {
-		if *only != "" && !strings.EqualFold(*only, r.id) {
-			continue
+	var selected []experiments.Spec
+	for _, s := range specs {
+		if *only == "" || strings.EqualFold(*only, s.ID) {
+			selected = append(selected, s)
 		}
-		matched = true
-		fmt.Println(r.fn())
 	}
-	if !matched {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
+	}
+
+	// One flat pool across every selected figure: points of different
+	// figures run side by side, results land in per-figure slots.
+	var jobs []runner.Job
+	for _, s := range selected {
+		jobs = append(jobs, s.Jobs...)
+	}
+	if err := runner.Run(*parallel, jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range selected {
+		fmt.Println(s.Table())
 	}
 }

@@ -14,7 +14,7 @@ import (
 // flight out of order.
 type FSMTable struct {
 	capacity int
-	table    *cuckoo.Table[interface{}]
+	table    *cuckoo.Table[any]
 
 	inserted, completed int64
 	peak                int
@@ -25,7 +25,7 @@ func NewFSMTable(capacity int) *FSMTable {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &FSMTable{capacity: capacity, table: cuckoo.New[interface{}](capacity)}
+	return &FSMTable{capacity: capacity, table: cuckoo.New[any](capacity)}
 }
 
 // Capacity returns the slot count.
@@ -41,7 +41,7 @@ func (f *FSMTable) Peak() int { return f.peak }
 // returns false when the table is full — either the configured
 // outstanding limit or a failed cuckoo path (both stall the scheduler
 // in hardware). It panics on duplicate ids.
-func (f *FSMTable) TryInsert(id uint64, state interface{}) bool {
+func (f *FSMTable) TryInsert(id uint64, state any) bool {
 	if _, dup := f.table.Lookup(id); dup {
 		panic(fmt.Sprintf("accel: duplicate FSM id %d", id))
 	}
@@ -59,14 +59,14 @@ func (f *FSMTable) TryInsert(id uint64, state interface{}) bool {
 }
 
 // Lookup returns the state for id.
-func (f *FSMTable) Lookup(id uint64) (interface{}, bool) {
+func (f *FSMTable) Lookup(id uint64) (any, bool) {
 	return f.table.Lookup(id)
 }
 
 // Update replaces the state for an in-flight id; it panics when the id
 // is unknown (an FSM transition for a request that was never admitted
 // is a hardware bug).
-func (f *FSMTable) Update(id uint64, state interface{}) {
+func (f *FSMTable) Update(id uint64, state any) {
 	if _, ok := f.table.Lookup(id); !ok {
 		panic(fmt.Sprintf("accel: FSM update for unknown id %d", id))
 	}

@@ -14,7 +14,29 @@ import (
 	"rambda/internal/core"
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
+	"rambda/internal/runner"
 )
+
+// Spec is one figure's parallel execution plan: the sweep enumerated as
+// independent runner jobs (each builds its own machines and RNGs and
+// writes a result slot indexed by sweep position) plus the rendering
+// step that runs after every job has completed. Exposing the jobs
+// instead of running them lets cmd/rambda-figures flatten all figures
+// into a single pool, so whole figures overlap with each other as well
+// as their own points — while the slot discipline keeps the rendered
+// output byte-identical to a sequential run.
+type Spec struct {
+	ID    string
+	Jobs  []runner.Job
+	Table func() *Table // render; call only after Jobs have all run
+}
+
+// RunSpec executes a figure's jobs on `parallel` workers (<= 0 uses the
+// runner default) and renders its table.
+func RunSpec(parallel int, s Spec) *Table {
+	runner.MustRun(parallel, s.Jobs)
+	return s.Table()
+}
 
 // Table is a rendered experiment result.
 type Table struct {

@@ -301,6 +301,74 @@ func TestTablesRender(t *testing.T) {
 	tab.AddRow("only-one")
 }
 
+// TestParallelMatchesSequentialFig7 asserts the harness's core
+// guarantee: the same seeds produce byte-identical rendered tables
+// whether the sweep runs on one worker or eight.
+func TestParallelMatchesSequentialFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	cfg := testFig7Config()
+	cfg.Requests = 6000
+	cfg.Parallel = 1
+	seq := Fig7Table(cfg).String()
+	cfg.Parallel = 8
+	par := Fig7Table(cfg).String()
+	if seq != par {
+		t.Fatalf("fig7 output differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelMatchesSequentialFig8 covers the KVS path, whose points
+// build full client/server machines, SmartNIC caches, and Zipf streams.
+func TestParallelMatchesSequentialFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	cfg := testKVSConfig()
+	cfg.Requests = 5000
+	cfg.Parallel = 1
+	seq := Fig8Table(cfg).String()
+	cfg.Parallel = 8
+	par := Fig8Table(cfg).String()
+	if seq != par {
+		t.Fatalf("fig8 output differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestSpecJobsCoverAllSlots asserts every figure Spec enumerates at
+// least one job and renders without running into an unfilled slot
+// (small scales keep this fast; the render itself would panic on a
+// malformed table).
+func TestSpecJobsCoverAllSlots(t *testing.T) {
+	kcfg := testKVSConfig()
+	kcfg.Requests = 500
+	specs := []Spec{
+		Fig1Spec(300, 1),
+		Fig5Spec(),
+		Tab3Spec(kcfg),
+		Fig12Spec(Fig12Config{Pairs: 500, Transactions: 200, Seed: 12}),
+		ScalabilitySpec(ScalabilityConfig{Sweep: []int{4, 8}, RingEntries: 8, EntryBytes: 64, Requests: 400, Seed: 31}),
+	}
+	for _, s := range specs {
+		if len(s.Jobs) == 0 {
+			t.Fatalf("%s: no jobs", s.ID)
+		}
+		for i, j := range s.Jobs {
+			if j.Experiment != s.ID || j.Point != i {
+				t.Fatalf("%s: job %d misidentified as %s[%d]", s.ID, i, j.Experiment, j.Point)
+			}
+		}
+		tab := RunSpec(4, s)
+		if tab.ID != s.ID {
+			t.Fatalf("%s: rendered table carries ID %q", s.ID, tab.ID)
+		}
+		if len(tab.Rows) != len(s.Jobs) {
+			t.Fatalf("%s: rendered %d rows from %d jobs", s.ID, len(tab.Rows), len(s.Jobs))
+		}
+	}
+}
+
 func TestZipfWorkloadSkew(t *testing.T) {
 	cfg := testKVSConfig()
 	w := newKVSWorkload(cfg, true, false)

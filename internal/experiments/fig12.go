@@ -6,6 +6,7 @@ import (
 	"rambda/internal/chainrep"
 	"rambda/internal/core"
 	"rambda/internal/memspace"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
 
@@ -23,6 +24,7 @@ type Fig12Config struct {
 	Pairs        int // preloaded key-value pairs
 	Transactions int
 	Seed         uint64
+	Parallel     int // sweep-point workers; 0 = runner default
 }
 
 // DefaultFig12Config mirrors the paper's 100K pairs / 100K transactions
@@ -95,57 +97,84 @@ func fig12Tx(rng *sim.RNG, pairs, reads, writes, valueBytes int) chainrep.Tx {
 	return tx
 }
 
-// Fig12 measures both systems on 64 B and 1024 B values for the
-// representative (0,1) and (4,2) transaction shapes, issuing
-// transactions serially from one client as the paper does. Routing
-// jitter (the 2-3 us ARM hop) provides the tail.
-func Fig12(cfg Fig12Config) []Fig12Row {
-	var rows []Fig12Row
+// fig12Point runs one (value size, shape, system) cell: a fresh chain
+// and private RNG streams, transactions issued serially from one client
+// as the paper does. Routing jitter (the 2-3 us ARM hop) provides the
+// tail.
+func fig12Point(cfg Fig12Config, node chainrep.NodeConfig, sysName string, reads, writes, valueBytes int) (avg, p99 sim.Time) {
+	chain := newFig12Chain(cfg, node, valueBytes)
+	rng := sim.NewRNG(cfg.Seed)
+	jrng := sim.NewRNG(cfg.Seed + 1)
+	hist := sim.NewHistogram(0)
+	now := sim.Time(0)
+	for i := 0; i < cfg.Transactions; i++ {
+		// ARM routing wanders between 2 and 3 us (Sec. VI-C).
+		chain.HopDelay = 2*sim.Microsecond + sim.Duration(jrng.Intn(1000))*sim.Nanosecond
+		tx := fig12Tx(rng, cfg.Pairs, reads, writes, valueBytes)
+		var done sim.Time
+		if sysName == "RAMBDA" {
+			_, d, err := chain.RambdaTx(now, tx)
+			if err != nil {
+				panic(err)
+			}
+			done = d
+		} else {
+			_, done = chain.HyperLoopTx(now, tx)
+		}
+		hist.Record(done - now)
+		now = done // serial client
+	}
+	return hist.Mean(), hist.P99()
+}
+
+// fig12Plan enumerates (value size x shape x system) as runner jobs.
+func fig12Plan(cfg Fig12Config) ([]Fig12Row, []runner.Job) {
 	shapes := []struct {
 		name          string
 		reads, writes int
 	}{{"(0,1)", 0, 1}, {"(4,2)", 4, 2}}
+	systems := []struct {
+		name string
+		node chainrep.NodeConfig
+	}{{"HyperLoop", hyperloopNode}, {"RAMBDA", rambdaNode}}
 
+	type point struct {
+		valueBytes    int
+		shape         string
+		reads, writes int
+		system        string
+		node          chainrep.NodeConfig
+	}
+	var points []point
 	for _, valueBytes := range []int{64, 1024} {
 		for _, shape := range shapes {
-			for _, sys := range []struct {
-				name string
-				node chainrep.NodeConfig
-			}{{"HyperLoop", hyperloopNode}, {"RAMBDA", rambdaNode}} {
-				chain := newFig12Chain(cfg, sys.node, valueBytes)
-				rng := sim.NewRNG(cfg.Seed)
-				jrng := sim.NewRNG(cfg.Seed + 1)
-				hist := sim.NewHistogram(0)
-				now := sim.Time(0)
-				for i := 0; i < cfg.Transactions; i++ {
-					// ARM routing wanders between 2 and 3 us (Sec. VI-C).
-					chain.HopDelay = 2*sim.Microsecond + sim.Duration(jrng.Intn(1000))*sim.Nanosecond
-					tx := fig12Tx(rng, cfg.Pairs, shape.reads, shape.writes, valueBytes)
-					var done sim.Time
-					if sys.name == "RAMBDA" {
-						_, d, err := chain.RambdaTx(now, tx)
-						if err != nil {
-							panic(err)
-						}
-						done = d
-					} else {
-						_, done = chain.HyperLoopTx(now, tx)
-					}
-					hist.Record(done - now)
-					now = done // serial client
-				}
-				rows = append(rows, Fig12Row{
-					System: sys.name, ValueBytes: valueBytes, Shape: shape.name,
-					Avg: hist.Mean(), P99: hist.P99(),
-				})
+			for _, sys := range systems {
+				points = append(points, point{valueBytes, shape.name, shape.reads, shape.writes, sys.name, sys.node})
 			}
 		}
 	}
+	rows := make([]Fig12Row, len(points))
+	jobs := runner.Jobs("fig12", len(points),
+		func(i int) string {
+			return fmt.Sprintf("%s/%dB/%s", points[i].system, points[i].valueBytes, points[i].shape)
+		},
+		func(i int) {
+			p := points[i]
+			avg, p99 := fig12Point(cfg, p.node, p.system, p.reads, p.writes, p.valueBytes)
+			rows[i] = Fig12Row{System: p.system, ValueBytes: p.valueBytes, Shape: p.shape, Avg: avg, P99: p99}
+		})
+	return rows, jobs
+}
+
+// Fig12 measures both systems on 64 B and 1024 B values for the
+// representative (0,1) and (4,2) transaction shapes.
+func Fig12(cfg Fig12Config) []Fig12Row {
+	rows, jobs := fig12Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
 	return rows
 }
 
-// Fig12Table renders Fig. 12.
-func Fig12Table(cfg Fig12Config) *Table {
+func fig12Render(rows []Fig12Row) *Table {
 	t := &Table{
 		ID:      "fig12",
 		Title:   "Chain-replicated transaction latency (2 replicas, NVM log)",
@@ -154,8 +183,19 @@ func Fig12Table(cfg Fig12Config) *Table {
 			"paper: (0,1) parity within ~3%; (4,2): RAMBDA 63.2-66.8% lower avg, 64.5-69.1% lower p99",
 		},
 	}
-	for _, r := range Fig12(cfg) {
+	for _, r := range rows {
 		t.AddRow(r.System, fmt.Sprintf("%dB", r.ValueBytes), r.Shape, r.Avg.String(), r.P99.String())
 	}
 	return t
+}
+
+// Fig12Spec exposes the sweep for a shared pool.
+func Fig12Spec(cfg Fig12Config) Spec {
+	rows, jobs := fig12Plan(cfg)
+	return Spec{ID: "fig12", Jobs: jobs, Table: func() *Table { return fig12Render(rows) }}
+}
+
+// Fig12Table renders Fig. 12.
+func Fig12Table(cfg Fig12Config) *Table {
+	return RunSpec(cfg.Parallel, Fig12Spec(cfg))
 }

@@ -8,6 +8,7 @@ import (
 	"rambda/internal/hostcpu"
 	"rambda/internal/interconnect"
 	"rambda/internal/memspace"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
 
@@ -25,6 +26,7 @@ type Fig13Config struct {
 	Dim      int
 	RowScale float64 // scales the per-category table heights
 	Seed     uint64
+	Parallel int // sweep-point workers; 0 = runner default
 }
 
 // DefaultFig13Config mirrors the paper's configuration at simulation
@@ -153,30 +155,54 @@ func fig13Rambda(cat dlrm.Category, cfg Fig13Config, variant core.AccelVariant) 
 	return res.Throughput
 }
 
-// Fig13 runs all six datasets across the system matrix.
-func Fig13(cfg Fig13Config) []Fig13Row {
-	var rows []Fig13Row
+// fig13Plan enumerates (dataset x system) as runner jobs — six Amazon
+// categories by five CPU core counts plus three accelerator variants,
+// each building its own machine, embedding tables, and dataset.
+func fig13Plan(cfg Fig13Config) ([]Fig13Row, []runner.Job) {
+	variantName := map[core.AccelVariant]string{
+		core.AccelBase: "RAMBDA", core.AccelLD: "RAMBDA-LD", core.AccelLH: "RAMBDA-LH",
+	}
+	type point struct {
+		cat    dlrm.Category
+		system string
+		fn     func() float64
+	}
+	var points []point
 	for _, cat := range dlrm.AmazonCategories {
+		cat := cat
 		for _, cores := range []int{1, 2, 4, 8, 16} {
-			rows = append(rows, Fig13Row{
-				Dataset: cat.Name, System: fmt.Sprintf("CPU-%d", cores),
-				Throughput: fig13CPU(cat, cfg, cores),
+			cores := cores
+			points = append(points, point{
+				cat: cat, system: fmt.Sprintf("CPU-%d", cores),
+				fn: func() float64 { return fig13CPU(cat, cfg, cores) },
 			})
 		}
 		for _, v := range []core.AccelVariant{core.AccelBase, core.AccelLD, core.AccelLH} {
-			rows = append(rows, Fig13Row{
-				Dataset: cat.Name, System: map[core.AccelVariant]string{
-					core.AccelBase: "RAMBDA", core.AccelLD: "RAMBDA-LD", core.AccelLH: "RAMBDA-LH",
-				}[v],
-				Throughput: fig13Rambda(cat, cfg, v),
+			v := v
+			points = append(points, point{
+				cat: cat, system: variantName[v],
+				fn: func() float64 { return fig13Rambda(cat, cfg, v) },
 			})
 		}
 	}
+	rows := make([]Fig13Row, len(points))
+	jobs := runner.Jobs("fig13", len(points),
+		func(i int) string { return points[i].cat.Name + "/" + points[i].system },
+		func(i int) {
+			p := points[i]
+			rows[i] = Fig13Row{Dataset: p.cat.Name, System: p.system, Throughput: p.fn()}
+		})
+	return rows, jobs
+}
+
+// Fig13 runs all six datasets across the system matrix.
+func Fig13(cfg Fig13Config) []Fig13Row {
+	rows, jobs := fig13Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
 	return rows
 }
 
-// Fig13Table renders Fig. 13.
-func Fig13Table(cfg Fig13Config) *Table {
+func fig13Render(rows []Fig13Row) *Table {
 	t := &Table{
 		ID:      "fig13",
 		Title:   "MERCI-based DLRM inference throughput (Amazon Review-like datasets)",
@@ -186,10 +212,21 @@ func Fig13Table(cfg Fig13Config) *Table {
 			"LD 52.8-95.3% of CPU-8; LH 1.6-3.1x CPU-8 (network becomes the limit)",
 		},
 	}
-	for _, r := range Fig13(cfg) {
+	for _, r := range rows {
 		t.AddRow(r.Dataset, r.System, fmt.Sprintf("%.2f Mq/s", r.Throughput/1e6))
 	}
 	return t
+}
+
+// Fig13Spec exposes the sweep for a shared pool.
+func Fig13Spec(cfg Fig13Config) Spec {
+	rows, jobs := fig13Plan(cfg)
+	return Spec{ID: "fig13", Jobs: jobs, Table: func() *Table { return fig13Render(rows) }}
+}
+
+// Fig13Table renders Fig. 13.
+func Fig13Table(cfg Fig13Config) *Table {
+	return RunSpec(cfg.Parallel, Fig13Spec(cfg))
 }
 
 // coreVariantBase/LD/LH expose the accelerator variants for tests.

@@ -5,6 +5,7 @@ import (
 
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
 
@@ -22,6 +23,14 @@ type Fig5Row struct {
 // ~3.5 GB/s on both channels (write-allocate reads plus the writes);
 // any cache-steered configuration leaves only the eviction trickle.
 func Fig5() []Fig5Row {
+	rows, jobs := fig5Plan()
+	runner.MustRun(0, jobs)
+	return rows
+}
+
+// fig5Point streams the DMA writes against one DDIO/TPH configuration
+// on a private memory system.
+func fig5Point(ddio, tph bool) Fig5Row {
 	const (
 		rate     = 3.5e9
 		pkt      = 256
@@ -31,44 +40,59 @@ func Fig5() []Fig5Row {
 	interval := sim.Duration(pktSec * float64(sim.Second))
 	packets := int(duration / interval)
 
-	var rows []Fig5Row
-	for _, ddio := range []bool{false, true} {
-		for _, tph := range []bool{false, true} {
-			space := memspace.New()
-			buf := space.Alloc("dma-buf", 1<<30, memspace.KindDRAM)
-			sys := &memdev.System{
-				Space: space,
-				DRAM:  memdev.NewDRAM("dram", 6, 128e9, 90*sim.Nanosecond),
-				LLC:   memdev.NewLLC("llc", 300e9, 20*sim.Nanosecond),
-			}
-			sys.LLC.DDIOEnabled = ddio
-			rng := sim.NewRNG(0xF165)
-
-			now := sim.Time(0)
-			for p := 0; p < packets; p++ {
-				off := memspace.Addr(rng.Uint64n(uint64(buf.Size/pkt))) * pkt
-				sys.DMAWrite(now, buf.Base+off, pkt, tph)
-				now += interval
-			}
-			secs := now.Seconds()
-			bypass := float64(sys.LLC.MemoryBypassBytes())
-			evicted := float64(sys.LLC.EvictedBytes())
-			rows = append(rows, Fig5Row{
-				DDIO: ddio,
-				TPH:  tph,
-				// Memory-bypass DMA performs write-allocate reads plus
-				// the data writes; cache-steered DMA only trickles
-				// evictions.
-				ReadGBs:  bypass / secs / 1e9,
-				WriteGBs: (bypass + evicted) / secs / 1e9,
-			})
-		}
+	space := memspace.New()
+	buf := space.Alloc("dma-buf", 1<<30, memspace.KindDRAM)
+	sys := &memdev.System{
+		Space: space,
+		DRAM:  memdev.NewDRAM("dram", 6, 128e9, 90*sim.Nanosecond),
+		LLC:   memdev.NewLLC("llc", 300e9, 20*sim.Nanosecond),
 	}
-	return rows
+	sys.LLC.DDIOEnabled = ddio
+	rng := sim.NewRNG(0xF165)
+
+	now := sim.Time(0)
+	for p := 0; p < packets; p++ {
+		off := memspace.Addr(rng.Uint64n(uint64(buf.Size/pkt))) * pkt
+		sys.DMAWrite(now, buf.Base+off, pkt, tph)
+		now += interval
+	}
+	secs := now.Seconds()
+	bypass := float64(sys.LLC.MemoryBypassBytes())
+	evicted := float64(sys.LLC.EvictedBytes())
+	return Fig5Row{
+		DDIO: ddio,
+		TPH:  tph,
+		// Memory-bypass DMA performs write-allocate reads plus the data
+		// writes; cache-steered DMA only trickles evictions.
+		ReadGBs:  bypass / secs / 1e9,
+		WriteGBs: (bypass + evicted) / secs / 1e9,
+	}
+}
+
+// fig5Plan enumerates the four DDIO x TPH combinations as runner jobs.
+func fig5Plan() ([]Fig5Row, []runner.Job) {
+	combos := []struct{ ddio, tph bool }{
+		{false, false}, {false, true}, {true, false}, {true, true},
+	}
+	rows := make([]Fig5Row, len(combos))
+	jobs := runner.Jobs("fig5", len(combos),
+		func(i int) string { return fmt.Sprintf("ddio=%v/tph=%v", combos[i].ddio, combos[i].tph) },
+		func(i int) { rows[i] = fig5Point(combos[i].ddio, combos[i].tph) })
+	return rows, jobs
+}
+
+// Fig5Spec exposes the sweep for a shared pool.
+func Fig5Spec() Spec {
+	rows, jobs := fig5Plan()
+	return Spec{ID: "fig5", Jobs: jobs, Table: func() *Table { return fig5Render(rows) }}
 }
 
 // Fig5Table renders Fig. 5.
 func Fig5Table() *Table {
+	return RunSpec(0, Fig5Spec())
+}
+
+func fig5Render(rows []Fig5Row) *Table {
 	t := &Table{
 		ID:      "fig5",
 		Title:   "Host memory bandwidth under 3.5 GB/s DMA writes (DDIO x TPH)",
@@ -83,7 +107,7 @@ func Fig5Table() *Table {
 		}
 		return "off"
 	}
-	for _, r := range Fig5() {
+	for _, r := range rows {
 		t.AddRow(onoff(r.DDIO), onoff(r.TPH), fmt.Sprintf("%.2f", r.ReadGBs), fmt.Sprintf("%.2f", r.WriteGBs))
 	}
 	return t

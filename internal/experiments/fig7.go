@@ -6,6 +6,7 @@ import (
 	"rambda/internal/core"
 	"rambda/internal/hostcpu"
 	"rambda/internal/memspace"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
 
@@ -27,6 +28,7 @@ type Fig7Config struct {
 	Requests int // per configuration
 	Window   int // outstanding requests per connection
 	Seed     uint64
+	Parallel int // sweep-point workers; 0 = runner default
 }
 
 // DefaultFig7Config returns the scaled experiment size.
@@ -243,31 +245,55 @@ func fig7NVM(cfg Fig7Config, alwaysDDIO bool) float64 {
 	return res.Throughput
 }
 
-// Fig7 runs the whole microbenchmark sweep.
-func Fig7(cfg Fig7Config) []Fig7Row {
-	var rows []Fig7Row
-	cpu1 := fig7CPU(cfg, 1, false)
-	add := func(mem, name string, tput, base float64) {
-		rows = append(rows, Fig7Row{Mem: mem, Config: name, Throughput: tput, Normalized: tput / base})
+// fig7Plan enumerates the sweep: eleven independent configurations,
+// each building its own machine and RNGs. Normalization bases (DRAM
+// results to CPU-1, NVM results to RAMBDA-DDIO) are applied by rows()
+// after every point has run, so the points stay order-independent.
+func fig7Plan(cfg Fig7Config) (func() []Fig7Row, []runner.Job) {
+	points := []struct {
+		mem, name string
+		fn        func() float64
+	}{
+		{"dram", "CPU-1", func() float64 { return fig7CPU(cfg, 1, false) }},
+		{"dram", "CPU-8", func() float64 { return fig7CPU(cfg, 8, false) }},
+		{"dram", "CPU-16", func() float64 { return fig7CPU(cfg, 16, false) }},
+		{"dram", "RAMBDA-polling", func() float64 { return fig7Rambda(cfg, core.NotifyPolling) }},
+		{"dram", "RAMBDA", func() float64 { return fig7Rambda(cfg, core.NotifyCpoll) }},
+		{"dram", "RAMBDA-LD", func() float64 { return fig7LocalMem(cfg, core.AccelLD) }},
+		{"dram", "RAMBDA-LH", func() float64 { return fig7LocalMem(cfg, core.AccelLH) }},
+		{"nvm", "CPU-1", func() float64 { return fig7CPU(cfg, 1, true) }},
+		{"nvm", "CPU-8", func() float64 { return fig7CPU(cfg, 8, true) }},
+		{"nvm", "RAMBDA-DDIO", func() float64 { return fig7NVM(cfg, true) }},
+		{"nvm", "RAMBDA", func() float64 { return fig7NVM(cfg, false) }},
 	}
-	add("dram", "CPU-1", cpu1, cpu1)
-	add("dram", "CPU-8", fig7CPU(cfg, 8, false), cpu1)
-	add("dram", "CPU-16", fig7CPU(cfg, 16, false), cpu1)
-	add("dram", "RAMBDA-polling", fig7Rambda(cfg, core.NotifyPolling), cpu1)
-	add("dram", "RAMBDA", fig7Rambda(cfg, core.NotifyCpoll), cpu1)
-	add("dram", "RAMBDA-LD", fig7LocalMem(cfg, core.AccelLD), cpu1)
-	add("dram", "RAMBDA-LH", fig7LocalMem(cfg, core.AccelLH), cpu1)
-
-	ddioOn := fig7NVM(cfg, true)
-	add("nvm", "CPU-1", fig7CPU(cfg, 1, true), ddioOn)
-	add("nvm", "CPU-8", fig7CPU(cfg, 8, true), ddioOn)
-	add("nvm", "RAMBDA-DDIO", ddioOn, ddioOn)
-	add("nvm", "RAMBDA", fig7NVM(cfg, false), ddioOn)
-	return rows
+	tputs := make([]float64, len(points))
+	jobs := runner.Jobs("fig7", len(points),
+		func(i int) string { return points[i].mem + "/" + points[i].name },
+		func(i int) { tputs[i] = points[i].fn() })
+	rows := func() []Fig7Row {
+		base := map[string]float64{}
+		for i, p := range points {
+			if (p.mem == "dram" && p.name == "CPU-1") || (p.mem == "nvm" && p.name == "RAMBDA-DDIO") {
+				base[p.mem] = tputs[i]
+			}
+		}
+		out := make([]Fig7Row, len(points))
+		for i, p := range points {
+			out[i] = Fig7Row{Mem: p.mem, Config: p.name, Throughput: tputs[i], Normalized: tputs[i] / base[p.mem]}
+		}
+		return out
+	}
+	return rows, jobs
 }
 
-// Fig7Table renders Fig. 7.
-func Fig7Table(cfg Fig7Config) *Table {
+// Fig7 runs the whole microbenchmark sweep.
+func Fig7(cfg Fig7Config) []Fig7Row {
+	rows, jobs := fig7Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
+	return rows()
+}
+
+func fig7Render(rows []Fig7Row) *Table {
 	t := &Table{
 		ID:      "fig7",
 		Title:   "Microbenchmark throughput (10M-node list walk, scaled)",
@@ -277,8 +303,19 @@ func Fig7Table(cfg Fig7Config) *Table {
 			"LD/LH +114%~166% over cpoll; NVM: adaptive DDIO ~+20% over DDIO-on",
 		},
 	}
-	for _, r := range Fig7(cfg) {
+	for _, r := range rows {
 		t.AddRow(r.Mem, r.Config, mops(r.Throughput), f2(r.Normalized))
 	}
 	return t
+}
+
+// Fig7Spec exposes the sweep for a shared pool.
+func Fig7Spec(cfg Fig7Config) Spec {
+	rows, jobs := fig7Plan(cfg)
+	return Spec{ID: "fig7", Jobs: jobs, Table: func() *Table { return fig7Render(rows()) }}
+}
+
+// Fig7Table renders Fig. 7.
+func Fig7Table(cfg Fig7Config) *Table {
+	return RunSpec(cfg.Parallel, Fig7Spec(cfg))
 }

@@ -9,6 +9,7 @@ import (
 	"rambda/internal/kvs"
 	"rambda/internal/memspace"
 	"rambda/internal/power"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 	"rambda/internal/smartnic"
 )
@@ -25,6 +26,7 @@ type KVSConfig struct {
 	Requests    int
 	ZipfTheta   float64
 	Seed        uint64
+	Parallel    int // sweep-point workers; 0 = runner default
 }
 
 // DefaultKVSConfig returns the scaled experiment.
@@ -340,34 +342,74 @@ func measureKVS(cfg KVSConfig, sys kvsCaller, skewed, writes bool, window int) *
 		})
 }
 
-// Fig8 measures peak throughput (batch 32) for every design under both
-// distributions and workload mixes.
-func Fig8(cfg KVSConfig) []Fig8Row {
-	var rows []Fig8Row
-	run := func(name string, mk func() kvsCaller) {
-		for _, dist := range []struct {
-			name   string
-			skewed bool
-		}{{"uniform", false}, {"zipf", true}} {
-			for _, wl := range []struct {
-				name   string
-				writes bool
-			}{{"get", false}, {"mixed", true}} {
-				res := measureKVS(cfg, mk(), dist.skewed, wl.writes, cfg.Batch)
-				rows = append(rows, Fig8Row{System: name, Dist: dist.name, Workload: wl.name, Throughput: res.Throughput})
+// kvsSystems enumerates the Fig. 8-10 system matrix in table order.
+// Each factory builds a fresh, fully isolated system (machines, store,
+// cache), so one sweep point never observes another's state.
+func kvsSystems(cfg KVSConfig) []struct {
+	name string
+	mk   func() kvsCaller
+} {
+	return []struct {
+		name string
+		mk   func() kvsCaller
+	}{
+		{"CPU", func() kvsCaller { return newCPUKVS(cfg, cfg.Batch, false) }},
+		{"SmartNIC", func() kvsCaller { return newSNICKVS(cfg) }},
+		{"RAMBDA", func() kvsCaller { return newRambdaKVS(cfg, core.AccelBase, cfg.Batch) }},
+		{"RAMBDA-LD", func() kvsCaller { return newRambdaKVS(cfg, core.AccelLD, cfg.Batch) }},
+		{"RAMBDA-LH", func() kvsCaller { return newRambdaKVS(cfg, core.AccelLH, cfg.Batch) }},
+	}
+}
+
+var kvsDists = []struct {
+	name   string
+	skewed bool
+}{{"uniform", false}, {"zipf", true}}
+
+// fig8Plan enumerates (system x dist x workload) as runner jobs.
+func fig8Plan(cfg KVSConfig) ([]Fig8Row, []runner.Job) {
+	systems := kvsSystems(cfg)
+	workloads := []struct {
+		name   string
+		writes bool
+	}{{"get", false}, {"mixed", true}}
+
+	type point struct {
+		system string
+		mk     func() kvsCaller
+		dist   string
+		skewed bool
+		wl     string
+		writes bool
+	}
+	var points []point
+	for _, s := range systems {
+		for _, dist := range kvsDists {
+			for _, wl := range workloads {
+				points = append(points, point{s.name, s.mk, dist.name, dist.skewed, wl.name, wl.writes})
 			}
 		}
 	}
-	run("CPU", func() kvsCaller { return newCPUKVS(cfg, cfg.Batch, false) })
-	run("SmartNIC", func() kvsCaller { return newSNICKVS(cfg) })
-	run("RAMBDA", func() kvsCaller { return newRambdaKVS(cfg, core.AccelBase, cfg.Batch) })
-	run("RAMBDA-LD", func() kvsCaller { return newRambdaKVS(cfg, core.AccelLD, cfg.Batch) })
-	run("RAMBDA-LH", func() kvsCaller { return newRambdaKVS(cfg, core.AccelLH, cfg.Batch) })
+	rows := make([]Fig8Row, len(points))
+	jobs := runner.Jobs("fig8", len(points),
+		func(i int) string { return points[i].system + "/" + points[i].dist + "/" + points[i].wl },
+		func(i int) {
+			p := points[i]
+			res := measureKVS(cfg, p.mk(), p.skewed, p.writes, cfg.Batch)
+			rows[i] = Fig8Row{System: p.system, Dist: p.dist, Workload: p.wl, Throughput: res.Throughput}
+		})
+	return rows, jobs
+}
+
+// Fig8 measures peak throughput (batch 32) for every design under both
+// distributions and workload mixes.
+func Fig8(cfg KVSConfig) []Fig8Row {
+	rows, jobs := fig8Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
 	return rows
 }
 
-// Fig8Table renders Fig. 8.
-func Fig8Table(cfg KVSConfig) *Table {
+func fig8Render(rows []Fig8Row) *Table {
 	t := &Table{
 		ID:      "fig8",
 		Title:   "KVS peak throughput, batch 32",
@@ -376,10 +418,21 @@ func Fig8Table(cfg KVSConfig) *Table {
 			"paper: CPU ~= RAMBDA (network-bound; RAMBDA +2.3-8.3%); SmartNIC uniform ~= 27-29% of its zipf",
 		},
 	}
-	for _, r := range Fig8(cfg) {
+	for _, r := range rows {
 		t.AddRow(r.System, r.Dist, r.Workload, mops(r.Throughput))
 	}
 	return t
+}
+
+// Fig8Spec exposes the sweep for a shared pool.
+func Fig8Spec(cfg KVSConfig) Spec {
+	rows, jobs := fig8Plan(cfg)
+	return Spec{ID: "fig8", Jobs: jobs, Table: func() *Table { return fig8Render(rows) }}
+}
+
+// Fig8Table renders Fig. 8.
+func Fig8Table(cfg KVSConfig) *Table {
+	return RunSpec(cfg.Parallel, Fig8Spec(cfg))
 }
 
 // Fig9Row is one latency bar of Fig. 9 (100% GET).
@@ -390,38 +443,60 @@ type Fig9Row struct {
 	P99    sim.Time // zero when inapplicable (LD/LH emulation)
 }
 
+// fig9Plan enumerates (system x dist) latency points as runner jobs.
+// Latency is measured at moderate load so path latency and jitter, not
+// closed-loop equilibrium, dominate. The SmartNIC saturates far below
+// the others; its latency is measured at a sustainable load (window 1),
+// like the paper's per-system latency runs.
+func fig9Plan(cfg KVSConfig) ([]Fig9Row, []runner.Job) {
+	systems := []struct {
+		name        string
+		tailApplies bool
+		window      int
+		mk          func() kvsCaller
+	}{
+		{"CPU", true, 8, func() kvsCaller { return newCPUKVS(cfg, cfg.Batch, true) }},
+		{"SmartNIC", true, 1, func() kvsCaller { return newSNICKVS(cfg) }},
+		{"RAMBDA", true, 8, func() kvsCaller { return newRambdaKVS(cfg, core.AccelBase, cfg.Batch) }},
+		{"RAMBDA-LD", false, 8, func() kvsCaller { return newRambdaKVS(cfg, core.AccelLD, cfg.Batch) }},
+		{"RAMBDA-LH", false, 8, func() kvsCaller { return newRambdaKVS(cfg, core.AccelLH, cfg.Batch) }},
+	}
+	type point struct {
+		sys    int
+		dist   string
+		skewed bool
+	}
+	var points []point
+	for si := range systems {
+		for _, dist := range kvsDists {
+			points = append(points, point{si, dist.name, dist.skewed})
+		}
+	}
+	rows := make([]Fig9Row, len(points))
+	jobs := runner.Jobs("fig9", len(points),
+		func(i int) string { return systems[points[i].sys].name + "/" + points[i].dist },
+		func(i int) {
+			p := points[i]
+			s := systems[p.sys]
+			res := measureKVS(cfg, s.mk(), p.skewed, false, s.window)
+			row := Fig9Row{System: s.name, Dist: p.dist, Avg: res.Latency.Mean()}
+			if s.tailApplies {
+				row.P99 = res.Latency.P99()
+			}
+			rows[i] = row
+		})
+	return rows, jobs
+}
+
 // Fig9 measures average and tail latency under moderate load (100%
 // GET, batch 32).
 func Fig9(cfg KVSConfig) []Fig9Row {
-	var rows []Fig9Row
-	run := func(name string, tailApplies bool, window int, mk func() kvsCaller) {
-		for _, dist := range []struct {
-			name   string
-			skewed bool
-		}{{"uniform", false}, {"zipf", true}} {
-			// Latency is measured at moderate load so path latency and
-			// jitter, not closed-loop equilibrium, dominate.
-			res := measureKVS(cfg, mk(), dist.skewed, false, window)
-			row := Fig9Row{System: name, Dist: dist.name, Avg: res.Latency.Mean()}
-			if tailApplies {
-				row.P99 = res.Latency.P99()
-			}
-			rows = append(rows, row)
-		}
-	}
-	run("CPU", true, 8, func() kvsCaller { return newCPUKVS(cfg, cfg.Batch, true) })
-	// The SmartNIC saturates far below the others; latency is measured
-	// at a sustainable load (window 1), like the paper's per-system
-	// latency runs.
-	run("SmartNIC", true, 1, func() kvsCaller { return newSNICKVS(cfg) })
-	run("RAMBDA", true, 8, func() kvsCaller { return newRambdaKVS(cfg, core.AccelBase, cfg.Batch) })
-	run("RAMBDA-LD", false, 8, func() kvsCaller { return newRambdaKVS(cfg, core.AccelLD, cfg.Batch) })
-	run("RAMBDA-LH", false, 8, func() kvsCaller { return newRambdaKVS(cfg, core.AccelLH, cfg.Batch) })
+	rows, jobs := fig9Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
 	return rows
 }
 
-// Fig9Table renders Fig. 9.
-func Fig9Table(cfg KVSConfig) *Table {
+func fig9Render(rows []Fig9Row) *Table {
 	t := &Table{
 		ID:      "fig9",
 		Title:   "KVS latency, 100% GET, batch 32",
@@ -431,7 +506,7 @@ func Fig9Table(cfg KVSConfig) *Table {
 			"LD/LH tail marked n/a exactly as in the paper (average-only emulation)",
 		},
 	}
-	for _, r := range Fig9(cfg) {
+	for _, r := range rows {
 		p99 := "n/a"
 		if r.P99 != 0 {
 			p99 = r.P99.String()
@@ -439,6 +514,17 @@ func Fig9Table(cfg KVSConfig) *Table {
 		t.AddRow(r.System, r.Dist, r.Avg.String(), p99)
 	}
 	return t
+}
+
+// Fig9Spec exposes the sweep for a shared pool.
+func Fig9Spec(cfg KVSConfig) Spec {
+	rows, jobs := fig9Plan(cfg)
+	return Spec{ID: "fig9", Jobs: jobs, Table: func() *Table { return fig9Render(rows) }}
+}
+
+// Fig9Table renders Fig. 9.
+func Fig9Table(cfg KVSConfig) *Table {
+	return RunSpec(cfg.Parallel, Fig9Spec(cfg))
 }
 
 // Fig10Row is one point of the batch sweep.
@@ -449,32 +535,53 @@ type Fig10Row struct {
 	Avg        sim.Time
 }
 
+// fig10Plan enumerates the batch sweep as runner jobs. CPU and SmartNIC
+// clients pipeline `batch` requests per connection (the batch is their
+// window); RAMBDA needs no request batching — its batch knob only
+// amortizes response doorbells, and the client window stays at the ring
+// depth (paper Sec. VI-B).
+func fig10Plan(cfg KVSConfig) ([]Fig10Row, []runner.Job) {
+	batches := []int{1, 2, 4, 8, 16, 32}
+	systems := []struct {
+		name string
+		mk   func(batch int) kvsCaller
+		win  func(batch int) int
+	}{
+		{"CPU", func(b int) kvsCaller { return newCPUKVS(cfg, b, false) }, func(b int) int { return b }},
+		{"SmartNIC", func(int) kvsCaller { return newSNICKVS(cfg) }, func(b int) int { return b }},
+		{"RAMBDA", func(b int) kvsCaller { return newRambdaKVS(cfg, core.AccelBase, b) }, func(int) int { return cfg.Batch }},
+	}
+	type point struct {
+		sys   int
+		batch int
+	}
+	var points []point
+	for si := range systems {
+		for _, b := range batches {
+			points = append(points, point{si, b})
+		}
+	}
+	rows := make([]Fig10Row, len(points))
+	jobs := runner.Jobs("fig10", len(points),
+		func(i int) string { return fmt.Sprintf("%s/batch=%d", systems[points[i].sys].name, points[i].batch) },
+		func(i int) {
+			p := points[i]
+			s := systems[p.sys]
+			res := measureKVS(cfg, s.mk(p.batch), true, false, s.win(p.batch))
+			rows[i] = Fig10Row{System: s.name, Batch: p.batch, Throughput: res.Throughput, Avg: res.Latency.Mean()}
+		})
+	return rows, jobs
+}
+
 // Fig10 sweeps the batch size on the Zipf GET workload. The client
 // window equals the batch size (HERD clients post batches of B).
 func Fig10(cfg KVSConfig) []Fig10Row {
-	var rows []Fig10Row
-	batches := []int{1, 2, 4, 8, 16, 32}
-	// CPU and SmartNIC clients pipeline `batch` requests per connection
-	// (the batch is their window); RAMBDA needs no request batching —
-	// its batch knob only amortizes response doorbells, and the client
-	// window stays at the ring depth (paper Sec. VI-B).
-	for _, b := range batches {
-		res := measureKVS(cfg, newCPUKVS(cfg, b, false), true, false, b)
-		rows = append(rows, Fig10Row{System: "CPU", Batch: b, Throughput: res.Throughput, Avg: res.Latency.Mean()})
-	}
-	for _, b := range batches {
-		res := measureKVS(cfg, newSNICKVS(cfg), true, false, b)
-		rows = append(rows, Fig10Row{System: "SmartNIC", Batch: b, Throughput: res.Throughput, Avg: res.Latency.Mean()})
-	}
-	for _, b := range batches {
-		res := measureKVS(cfg, newRambdaKVS(cfg, core.AccelBase, b), true, false, cfg.Batch)
-		rows = append(rows, Fig10Row{System: "RAMBDA", Batch: b, Throughput: res.Throughput, Avg: res.Latency.Mean()})
-	}
+	rows, jobs := fig10Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
 	return rows
 }
 
-// Fig10Table renders Fig. 10.
-func Fig10Table(cfg KVSConfig) *Table {
+func fig10Render(rows []Fig10Row) *Table {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Batch size impact (100% GET, Zipf)",
@@ -483,10 +590,21 @@ func Fig10Table(cfg KVSConfig) *Table {
 			"paper: batching lifts CPU/SmartNIC ~12x and RAMBDA ~2x; RAMBDA latency grows sub-linearly",
 		},
 	}
-	for _, r := range Fig10(cfg) {
+	for _, r := range rows {
 		t.AddRow(r.System, fmt.Sprintf("%d", r.Batch), mops(r.Throughput), r.Avg.String())
 	}
 	return t
+}
+
+// Fig10Spec exposes the sweep for a shared pool.
+func Fig10Spec(cfg KVSConfig) Spec {
+	rows, jobs := fig10Plan(cfg)
+	return Spec{ID: "fig10", Jobs: jobs, Table: func() *Table { return fig10Render(rows) }}
+}
+
+// Fig10Table renders Fig. 10.
+func Fig10Table(cfg KVSConfig) *Table {
+	return RunSpec(cfg.Parallel, Fig10Spec(cfg))
 }
 
 // Tab3Row is one column of Tab. III.
@@ -496,21 +614,38 @@ type Tab3Row struct {
 	KopPerW float64
 }
 
+// tab3Plan enumerates the three power-efficiency measurements at the
+// Fig. 8 uniform-GET operating point.
+func tab3Plan(cfg KVSConfig) ([]Tab3Row, []runner.Job) {
+	systems := []struct {
+		name  string
+		watts float64
+		mk    func() kvsCaller
+	}{
+		{"CPU", power.CPUFullLoad, func() kvsCaller { return newCPUKVS(cfg, cfg.Batch, false) }},
+		{"SmartNIC", power.SmartNICARMs, func() kvsCaller { return newSNICKVS(cfg) }},
+		{"RAMBDA", power.RambdaFPGA, func() kvsCaller { return newRambdaKVS(cfg, core.AccelBase, cfg.Batch) }},
+	}
+	rows := make([]Tab3Row, len(systems))
+	jobs := runner.Jobs("tab3", len(systems),
+		func(i int) string { return systems[i].name },
+		func(i int) {
+			s := systems[i]
+			tput := measureKVS(cfg, s.mk(), false, false, cfg.Batch).Throughput
+			rows[i] = Tab3Row{System: s.name, Watts: s.watts, KopPerW: power.KopsPerWatt(tput, s.watts)}
+		})
+	return rows, jobs
+}
+
 // Tab3 computes power efficiency at the Fig. 8 uniform-GET operating
 // point using the paper's measured component wattages.
 func Tab3(cfg KVSConfig) []Tab3Row {
-	cpuT := measureKVS(cfg, newCPUKVS(cfg, cfg.Batch, false), false, false, cfg.Batch).Throughput
-	snicT := measureKVS(cfg, newSNICKVS(cfg), false, false, cfg.Batch).Throughput
-	rambdaT := measureKVS(cfg, newRambdaKVS(cfg, core.AccelBase, cfg.Batch), false, false, cfg.Batch).Throughput
-	return []Tab3Row{
-		{System: "CPU", Watts: power.CPUFullLoad, KopPerW: power.KopsPerWatt(cpuT, power.CPUFullLoad)},
-		{System: "SmartNIC", Watts: power.SmartNICARMs, KopPerW: power.KopsPerWatt(snicT, power.SmartNICARMs)},
-		{System: "RAMBDA", Watts: power.RambdaFPGA, KopPerW: power.KopsPerWatt(rambdaT, power.RambdaFPGA)},
-	}
+	rows, jobs := tab3Plan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
+	return rows
 }
 
-// Tab3Table renders Tab. III.
-func Tab3Table(cfg KVSConfig) *Table {
+func tab3Render(rows []Tab3Row) *Table {
 	t := &Table{
 		ID:      "tab3",
 		Title:   "Power efficiency, GET/uniform (Kop/W)",
@@ -520,10 +655,21 @@ func Tab3Table(cfg KVSConfig) *Table {
 			fmt.Sprintf("whole-box reduction (IPMI constants): %.0f%%", power.BoxReduction()*100),
 		},
 	}
-	for _, r := range Tab3(cfg) {
+	for _, r := range rows {
 		t.AddRow(r.System, f1(r.Watts), f1(r.KopPerW))
 	}
 	return t
+}
+
+// Tab3Spec exposes the sweep for a shared pool.
+func Tab3Spec(cfg KVSConfig) Spec {
+	rows, jobs := tab3Plan(cfg)
+	return Spec{ID: "tab3", Jobs: jobs, Table: func() *Table { return tab3Render(rows) }}
+}
+
+// Tab3Table renders Tab. III.
+func Tab3Table(cfg KVSConfig) *Table {
+	return RunSpec(cfg.Parallel, Tab3Spec(cfg))
 }
 
 // clientConnSend and clientConnPoll expose the CPU client's raw

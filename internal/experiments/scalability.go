@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rambda/internal/core"
+	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
 
@@ -27,6 +28,7 @@ type ScalabilityConfig struct {
 	EntryBytes  int
 	Requests    int
 	Seed        uint64
+	Parallel    int // sweep-point workers; 0 = runner default
 }
 
 // DefaultScalabilityConfig sweeps 16..1024 connections with scaled
@@ -41,52 +43,64 @@ func DefaultScalabilityConfig() ScalabilityConfig {
 	}
 }
 
+// scalabilityPoint measures the echo workload at one connection count
+// on a private machine pair.
+func scalabilityPoint(cfg ScalabilityConfig, conns int) ScalabilityRow {
+	sm := core.NewMachine(core.MachineConfig{Name: "srv", Variant: core.AccelBase})
+	cm := core.NewMachine(core.MachineConfig{Name: "cli"})
+	core.ConnectMachines(sm, cm)
+
+	app := core.AppFunc(func(ctx *core.AppCtx, now sim.Time, req []byte) ([]byte, sim.Time) {
+		return req, ctx.Compute(now, 8)
+	})
+	opts := core.DefaultServerOptions()
+	opts.Connections = conns
+	opts.RingEntries = cfg.RingEntries
+	opts.EntryBytes = cfg.EntryBytes
+	s := core.NewServer(sm, app, opts)
+	clients := make([]*core.Client, conns)
+	for i := range clients {
+		clients[i] = core.ConnectClient(cm, s, i)
+	}
+
+	perClient := cfg.Requests / conns
+	if perClient < 2 {
+		perClient = 2
+	}
+	res := sim.ClosedLoop{Clients: conns, PerClient: perClient, Warmup: 1,
+		Stagger: 40 * sim.Nanosecond}.Run(
+		func(id int, issue sim.Time) sim.Time {
+			_, done := clients[id%conns].Call(issue, []byte{byte(id), byte(id >> 8)})
+			return done
+		})
+
+	ringBytes := float64(conns*cfg.RingEntries*cfg.EntryBytes) / (1 << 20)
+	return ScalabilityRow{
+		Connections:   conns,
+		ServerRingsMB: ringBytes,
+		CpollRegionB:  s.Checker().Region().Size,
+		PaperScaleGB:  float64(conns) / 1024, // 1 MB per 1K-entry ring
+		Throughput:    res.Throughput,
+	}
+}
+
+// scalabilityPlan enumerates the connection sweep as runner jobs.
+func scalabilityPlan(cfg ScalabilityConfig) ([]ScalabilityRow, []runner.Job) {
+	rows := make([]ScalabilityRow, len(cfg.Sweep))
+	jobs := runner.Jobs("scalability", len(cfg.Sweep),
+		func(i int) string { return fmt.Sprintf("conns=%d", cfg.Sweep[i]) },
+		func(i int) { rows[i] = scalabilityPoint(cfg, cfg.Sweep[i]) })
+	return rows, jobs
+}
+
 // Scalability measures an echo workload across the sweep.
 func Scalability(cfg ScalabilityConfig) []ScalabilityRow {
-	var rows []ScalabilityRow
-	for _, conns := range cfg.Sweep {
-		sm := core.NewMachine(core.MachineConfig{Name: "srv", Variant: core.AccelBase})
-		cm := core.NewMachine(core.MachineConfig{Name: "cli"})
-		core.ConnectMachines(sm, cm)
-
-		app := core.AppFunc(func(ctx *core.AppCtx, now sim.Time, req []byte) ([]byte, sim.Time) {
-			return req, ctx.Compute(now, 8)
-		})
-		opts := core.DefaultServerOptions()
-		opts.Connections = conns
-		opts.RingEntries = cfg.RingEntries
-		opts.EntryBytes = cfg.EntryBytes
-		s := core.NewServer(sm, app, opts)
-		clients := make([]*core.Client, conns)
-		for i := range clients {
-			clients[i] = core.ConnectClient(cm, s, i)
-		}
-
-		perClient := cfg.Requests / conns
-		if perClient < 2 {
-			perClient = 2
-		}
-		res := sim.ClosedLoop{Clients: conns, PerClient: perClient, Warmup: 1,
-			Stagger: 40 * sim.Nanosecond}.Run(
-			func(id int, issue sim.Time) sim.Time {
-				_, done := clients[id%conns].Call(issue, []byte{byte(id), byte(id >> 8)})
-				return done
-			})
-
-		ringBytes := float64(conns*cfg.RingEntries*cfg.EntryBytes) / (1 << 20)
-		rows = append(rows, ScalabilityRow{
-			Connections:   conns,
-			ServerRingsMB: ringBytes,
-			CpollRegionB:  s.Checker().Region().Size,
-			PaperScaleGB:  float64(conns) / 1024, // 1 MB per 1K-entry ring
-			Throughput:    res.Throughput,
-		})
-	}
+	rows, jobs := scalabilityPlan(cfg)
+	runner.MustRun(cfg.Parallel, jobs)
 	return rows
 }
 
-// ScalabilityTable renders the sweep.
-func ScalabilityTable(cfg ScalabilityConfig) *Table {
+func scalabilityRender(rows []ScalabilityRow) *Table {
 	t := &Table{
 		ID:      "scalability",
 		Title:   "Connection scaling (Sec. III-F): dedicated rings + pointer-buffer cpoll",
@@ -96,7 +110,7 @@ func ScalabilityTable(cfg ScalabilityConfig) *Table {
 			"the pointer buffer keeps the pinned cpoll region at 4 B per connection",
 		},
 	}
-	for _, r := range Scalability(cfg) {
+	for _, r := range rows {
 		t.AddRow(
 			fmt.Sprintf("%d", r.Connections),
 			fmt.Sprintf("%.2f MB", r.ServerRingsMB),
@@ -106,4 +120,15 @@ func ScalabilityTable(cfg ScalabilityConfig) *Table {
 		)
 	}
 	return t
+}
+
+// ScalabilitySpec exposes the sweep for a shared pool.
+func ScalabilitySpec(cfg ScalabilityConfig) Spec {
+	rows, jobs := scalabilityPlan(cfg)
+	return Spec{ID: "scalability", Jobs: jobs, Table: func() *Table { return scalabilityRender(rows) }}
+}
+
+// ScalabilityTable renders the sweep.
+func ScalabilityTable(cfg ScalabilityConfig) *Table {
+	return RunSpec(cfg.Parallel, ScalabilitySpec(cfg))
 }

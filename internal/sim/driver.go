@@ -44,9 +44,9 @@ func (h clientHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h clientHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *clientHeap) Push(x interface{}) { *h = append(*h, x.(clientEvent)) }
-func (h *clientHeap) Pop() interface{} {
+func (h clientHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *clientHeap) Push(x any)   { *h = append(*h, x.(clientEvent)) }
+func (h *clientHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

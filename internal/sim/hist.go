@@ -59,6 +59,39 @@ func (h *Histogram) Record(v Time) {
 	h.samples = append(h.samples, v)
 }
 
+// Merge folds other's samples into h, preserving exact count/sum/min/
+// max. Retained samples are concatenated and re-thinned under h's cap;
+// h adopts the coarser of the two strides so percentile resolution
+// degrades the same way a single histogram's would. Sweep points in
+// internal/runner each own a private histogram, so merging happens (if
+// at all) after the parallel phase, on one goroutine, in sweep order —
+// Merge is deliberately not safe for concurrent use, like Record.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.seen == 0 {
+		return
+	}
+	h.seen += other.seen
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.stride > h.stride {
+		h.stride = other.stride
+	}
+	h.samples = append(h.samples, other.samples...)
+	for len(h.samples) > h.cap {
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+	}
+}
+
 // Count returns the number of recorded samples (including thinned ones).
 func (h *Histogram) Count() int64 { return h.seen }
 

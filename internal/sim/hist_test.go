@@ -77,6 +77,80 @@ func TestHistogramPercentileMatchesSort(t *testing.T) {
 	}
 }
 
+func TestHistogramMergePreservesExactStats(t *testing.T) {
+	// Record one stream into a single histogram and the same stream
+	// split across four shards; exact statistics must agree after Merge.
+	whole := NewHistogram(0)
+	shards := make([]*Histogram, 4)
+	for i := range shards {
+		shards[i] = NewHistogram(0)
+	}
+	r := NewRNG(17)
+	for i := 0; i < 40000; i++ {
+		v := Time(r.Intn(5000)+1) * Nanosecond
+		whole.Record(v)
+		shards[i%4].Record(v)
+	}
+	merged := NewHistogram(0)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	if merged.Mean() != whole.Mean() {
+		t.Fatalf("mean %v != %v", merged.Mean(), whole.Mean())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("min/max %v/%v != %v/%v", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	// Under the retention cap nothing is thinned, so percentiles over
+	// the merged sample set are exact too.
+	if merged.P99() != whole.P99() {
+		t.Fatalf("p99 %v != %v", merged.P99(), whole.P99())
+	}
+}
+
+func TestHistogramMergeRespectsCap(t *testing.T) {
+	a := NewHistogram(256)
+	b := NewHistogram(256)
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		a.Record(Time(r.Intn(100)+1) * Microsecond)
+		b.Record(Time(r.Intn(100)+900) * Microsecond)
+	}
+	a.Merge(b)
+	if len(a.samples) > 256 {
+		t.Fatalf("retained %d samples, cap 256", len(a.samples))
+	}
+	if a.Count() != 2000 {
+		t.Fatalf("count=%d", a.Count())
+	}
+	// The merged distribution spans both shards.
+	if a.P50() < 90*Microsecond || a.P50() > 950*Microsecond {
+		t.Fatalf("p50=%v outside merged span", a.P50())
+	}
+	if a.Max() < 900*Microsecond {
+		t.Fatalf("max=%v lost b's tail", a.Max())
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram(0)
+	h.Record(Microsecond)
+	h.Merge(nil)
+	h.Merge(NewHistogram(0))
+	if h.Count() != 1 || h.Mean() != Microsecond {
+		t.Fatalf("merge of empty changed stats: %v", h)
+	}
+	// Merging into an empty histogram adopts the source's stats.
+	dst := NewHistogram(0)
+	dst.Merge(h)
+	if dst.Count() != 1 || dst.Min() != Microsecond || dst.Max() != Microsecond {
+		t.Fatalf("empty-dst merge: %v", dst)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram(0)
 	h.Record(Microsecond)

@@ -206,11 +206,11 @@ func (r *Resource) Reset() {
 // serverHeap is a min-heap over per-server next-free times.
 type serverHeap []Time
 
-func (h serverHeap) Len() int            { return len(h) }
-func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(Time)) }
-func (h *serverHeap) Pop() interface{} {
+func (h serverHeap) Len() int           { return len(h) }
+func (h serverHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x any)        { *h = append(*h, x.(Time)) }
+func (h *serverHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
