@@ -3,7 +3,7 @@
 GO ?= go
 PARALLEL ?= 0 # 0 = one worker per CPU (runner default)
 
-.PHONY: all build test race vet lint figures figures-quick clean
+.PHONY: all build test race vet lint figures figures-quick bench bench-check profile clean
 
 all: build test
 
@@ -30,6 +30,25 @@ figures:
 
 figures-quick:
 	$(GO) run ./cmd/rambda-figures -quick -parallel $(PARALLEL)
+
+# Performance-regression harness: times every figure plus the sim
+# microbenchmark kernels and writes BENCH_2.json (schema documented in
+# cmd/rambda-bench and EXPERIMENTS.md).
+bench:
+	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -out BENCH_2.json
+
+# Microbenchmarks only, compared against the committed baseline; fails
+# on a >25% machine-normalized regression. This is what CI's
+# bench-smoke job runs.
+bench-check:
+	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -out /tmp/BENCH_ci.json -baseline BENCH_2.json
+
+# CPU-profile one figure end to end, then open pprof. Usage:
+#   make profile FIG=fig8
+FIG ?= fig8
+profile:
+	$(GO) run ./cmd/rambda-figures -quick -parallel 1 -only $(FIG) -cpuprofile /tmp/$(FIG).prof > /dev/null
+	$(GO) tool pprof -top /tmp/$(FIG).prof | head -20
 
 clean:
 	$(GO) clean ./...

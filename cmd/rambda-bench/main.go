@@ -1,0 +1,293 @@
+// rambda-bench is the performance-regression harness: it times every
+// paper figure end to end, runs the sim engine's microbenchmark
+// kernels, and writes the results as JSON (BENCH_<pr>.json in the repo
+// root records the trajectory across PRs).
+//
+// Usage:
+//
+//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_2.json
+//	go run ./cmd/rambda-bench -skip-figures          # microbenchmarks only
+//	go run ./cmd/rambda-bench -quick -baseline BENCH_2.json
+//
+// With -baseline, each microbenchmark is compared against the baseline
+// file and the run fails (exit 1) if any regresses by more than
+// -max-regress (default 25%). Comparisons use machine-normalized
+// scores — ns/op divided by the RNGUint64 calibration kernel's ns/op —
+// so a baseline committed from one machine remains meaningful on CI
+// hardware of a different speed.
+//
+// JSON schema (BENCH_*.json):
+//
+//	{
+//	  "schema": "rambda-bench/1",
+//	  "quick": bool, "parallel": int, "go": string,
+//	  "calibration_ns_per_op": float,        // RNGUint64 ns/op
+//	  "figures": {"<id>": {
+//	      "wall_ns":        int,   // figure jobs + table render
+//	      "allocs":         int,   // heap allocations during the figure
+//	      "peak_rss_bytes": int    // process VmHWM after the figure (cumulative high-water)
+//	  }},
+//	  "micro": {"<kernel>": {
+//	      "ns_per_op": float, "allocs_per_op": int, "bytes_per_op": int,
+//	      "normalized": float      // ns_per_op / calibration_ns_per_op
+//	  }}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rambda/internal/experiments"
+	"rambda/internal/runner"
+	"rambda/internal/sim"
+)
+
+type figureResult struct {
+	WallNS       int64 `json:"wall_ns"`
+	Allocs       int64 `json:"allocs"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+}
+
+type microResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Normalized  float64 `json:"normalized"`
+	// Filled only when -seed points at a BENCH file measured on the
+	// pre-optimization engine: the seed's raw ns/op and the speedup of
+	// this run over it (same-machine comparison, not normalized).
+	SeedNsPerOp   float64 `json:"seed_ns_per_op,omitempty"`
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type report struct {
+	Schema        string                  `json:"schema"`
+	Quick         bool                    `json:"quick"`
+	Parallel      int                     `json:"parallel"`
+	Go            string                  `json:"go"`
+	CalibrationNs float64                 `json:"calibration_ns_per_op"`
+	Figures       map[string]figureResult `json:"figures"`
+	Micro         map[string]microResult  `json:"micro"`
+}
+
+// microKernels names each sim kernel timed by the harness. RNGUint64 is
+// also the calibration reference and is timed first, separately.
+var microKernels = []struct {
+	name string
+	fn   func(n int)
+}{
+	{"ResourceAcquireGapFree", func(n int) { sim.BenchAcquireGapFree(n) }},
+	{"ResourceAcquireGapHeavy", func(n int) { sim.BenchAcquireGapHeavy(n) }},
+	{"ResourceAcquireGapSaturated", func(n int) { sim.BenchAcquireGapSaturated(n) }},
+	{"ClosedLoopRun", func(n int) { sim.BenchClosedLoop(n) }},
+	{"HistogramRecord", func(n int) { sim.BenchHistogramRecord(n) }},
+	{"HistogramPercentile", func(n int) { sim.BenchHistogramPercentile(n) }},
+	{"ZipfNext", func(n int) { sim.BenchZipf(n) }},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run figures at quick scale (mirrors rambda-figures -quick)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for figure sweep points")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	only := flag.String("only", "", "time a single figure id (e.g. fig7)")
+	skipFigures := flag.Bool("skip-figures", false, "skip figure timings, run only the sim microbenchmarks")
+	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json to compare microbenchmarks against")
+	seedPath := flag.String("seed", "", "BENCH_*.json measured on the pre-optimization engine; embeds per-kernel speedups in the output")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when a microbenchmark's normalized score regresses by more than this fraction")
+	flag.Parse()
+
+	runner.SetDefault(*parallel)
+	rep := report{
+		Schema:   "rambda-bench/1",
+		Quick:    *quick,
+		Parallel: *parallel,
+		Go:       runtime.Version(),
+		Figures:  map[string]figureResult{},
+		Micro:    map[string]microResult{},
+	}
+
+	// Calibration first, on a quiet process.
+	calib := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		sim.BenchRNG(b.N)
+	})
+	rep.CalibrationNs = nsPerOp(calib)
+	fmt.Fprintf(os.Stderr, "calibration RNGUint64: %.2f ns/op\n", rep.CalibrationNs)
+	rep.Micro["RNGUint64"] = microResult{
+		NsPerOp:     nsPerOp(calib),
+		AllocsPerOp: calib.AllocsPerOp(),
+		BytesPerOp:  calib.AllocedBytesPerOp(),
+		Normalized:  1,
+	}
+
+	for _, k := range microKernels {
+		k := k
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			k.fn(b.N)
+		})
+		m := microResult{
+			NsPerOp:     nsPerOp(r),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		m.Normalized = m.NsPerOp / rep.CalibrationNs
+		rep.Micro[k.name] = m
+		fmt.Fprintf(os.Stderr, "micro %-28s %12.2f ns/op  %6d B/op  %4d allocs/op\n",
+			k.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	if !*skipFigures {
+		for _, s := range experiments.StandardSpecs(*quick) {
+			if *only != "" && !strings.EqualFold(*only, s.ID) {
+				continue
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			if err := runner.Run(*parallel, s.Jobs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			_ = s.Table().String()
+			wall := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			rep.Figures[s.ID] = figureResult{
+				WallNS:       wall.Nanoseconds(),
+				Allocs:       int64(ms1.Mallocs - ms0.Mallocs),
+				PeakRSSBytes: peakRSSBytes(),
+			}
+			fmt.Fprintf(os.Stderr, "figure %-12s %10s  %12d allocs  peak-rss %d MiB\n",
+				s.ID, wall.Round(time.Millisecond), ms1.Mallocs-ms0.Mallocs, peakRSSBytes()>>20)
+		}
+	}
+
+	if *seedPath != "" {
+		embedSeed(&rep, *seedPath)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *baselinePath != "" {
+		if failed := compareBaseline(&rep, *baselinePath, *maxRegress); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// nsPerOp keeps fractional precision (BenchmarkResult.NsPerOp truncates
+// to an integer, useless for sub-100ns kernels).
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N <= 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// compareBaseline checks every microbenchmark present in both runs and
+// reports regressions beyond maxRegress on the normalized score.
+func compareBaseline(rep *report, path string, maxRegress float64) (failed bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+		return true
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s: %v\n", path, err)
+		return true
+	}
+	if base.CalibrationNs <= 0 {
+		fmt.Fprintf(os.Stderr, "baseline %s has no calibration; skipping regression check\n", path)
+		return false
+	}
+	for name, cur := range rep.Micro {
+		b, ok := base.Micro[name]
+		if !ok || b.Normalized <= 0 || name == "RNGUint64" {
+			continue
+		}
+		ratio := cur.Normalized / b.Normalized
+		status := "ok"
+		if ratio > 1+maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "compare %-28s baseline %8.2f  now %8.2f  ratio %.2fx  %s\n",
+			name, b.Normalized, cur.Normalized, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "FAIL: microbenchmark regression beyond %.0f%% vs %s\n", maxRegress*100, path)
+	}
+	return failed
+}
+
+// embedSeed copies the pre-optimization ns/op for each kernel out of a
+// seed BENCH file and records the raw same-machine speedup alongside
+// this run's numbers.
+func embedSeed(rep *report, path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seed: %v\n", err)
+		return
+	}
+	var seed report
+	if err := json.Unmarshal(raw, &seed); err != nil {
+		fmt.Fprintf(os.Stderr, "seed %s: %v\n", path, err)
+		return
+	}
+	for name, cur := range rep.Micro {
+		s, ok := seed.Micro[name]
+		if !ok || s.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			continue
+		}
+		cur.SeedNsPerOp = s.NsPerOp
+		cur.SpeedupVsSeed = s.NsPerOp / cur.NsPerOp
+		rep.Micro[name] = cur
+		fmt.Fprintf(os.Stderr, "seed    %-28s %12.2f -> %10.2f ns/op  %8.1fx\n",
+			name, s.NsPerOp, cur.NsPerOp, cur.SpeedupVsSeed)
+	}
+}
+
+// peakRSSBytes reads the process resident-set high-water mark (VmHWM).
+// Figures run in sequence, so per-figure values are cumulative: a later
+// figure's number only rises above an earlier one's if it set a new
+// process-wide peak. Returns 0 where /proc is unavailable.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

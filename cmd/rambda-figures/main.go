@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"rambda/internal/experiments"
@@ -30,38 +32,54 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	runner.SetDefault(*parallel)
 
-	f7 := experiments.DefaultFig7Config()
-	kvs := experiments.DefaultKVSConfig()
-	f12 := experiments.DefaultFig12Config()
-	f13 := experiments.DefaultFig13Config()
-	fig1Requests := 20000
-	if *quick {
-		fig1Requests = 4000
-		f7.Nodes = 1 << 18
-		f7.Requests = 20000
-		kvs.Keys = 1 << 18
-		kvs.Requests = 15000
-		f12.Transactions = 4000
-		f13.Queries = 6000
-		f13.RowScale = 0.1
-	}
-
-	specs := []experiments.Spec{
-		experiments.Fig1Spec(fig1Requests, 1),
-		experiments.Fig5Spec(),
-		experiments.Fig7Spec(f7),
-		experiments.Fig8Spec(kvs),
-		experiments.Fig9Spec(kvs),
-		experiments.Fig10Spec(kvs),
-		experiments.Tab3Spec(kvs),
-		experiments.Fig12Spec(f12),
-		experiments.Fig13Spec(f13),
-		experiments.ScalabilitySpec(experiments.DefaultScalabilityConfig()),
-	}
+	specs := experiments.StandardSpecs(*quick)
 
 	var selected []experiments.Spec
 	for _, s := range specs {

@@ -31,6 +31,40 @@ type Spec struct {
 	Table func() *Table // render; call only after Jobs have all run
 }
 
+// StandardSpecs enumerates every paper figure in print order, at full
+// or quick scale — the single source of the sweep configuration shared
+// by cmd/rambda-figures, cmd/rambda-bench, and the output-pinning
+// tests.
+func StandardSpecs(quick bool) []Spec {
+	f7 := DefaultFig7Config()
+	kvs := DefaultKVSConfig()
+	f12 := DefaultFig12Config()
+	f13 := DefaultFig13Config()
+	fig1Requests := 20000
+	if quick {
+		fig1Requests = 4000
+		f7.Nodes = 1 << 18
+		f7.Requests = 20000
+		kvs.Keys = 1 << 18
+		kvs.Requests = 15000
+		f12.Transactions = 4000
+		f13.Queries = 6000
+		f13.RowScale = 0.1
+	}
+	return []Spec{
+		Fig1Spec(fig1Requests, 1),
+		Fig5Spec(),
+		Fig7Spec(f7),
+		Fig8Spec(kvs),
+		Fig9Spec(kvs),
+		Fig10Spec(kvs),
+		Tab3Spec(kvs),
+		Fig12Spec(f12),
+		Fig13Spec(f13),
+		ScalabilitySpec(DefaultScalabilityConfig()),
+	}
+}
+
 // RunSpec executes a figure's jobs on `parallel` workers (<= 0 uses the
 // runner default) and renders its table.
 func RunSpec(parallel int, s Spec) *Table {

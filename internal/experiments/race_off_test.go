@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// goldenRaceEnabled mirrors internal/sim's raceEnabled: the golden
+// figure regeneration is minutes of pure compute and is skipped under
+// the race detector (determinism is single-goroutine per job anyway).
+const goldenRaceEnabled = false

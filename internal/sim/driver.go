@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // RequestFunc executes one simulated request issued by client at the
 // given virtual time and returns its completion time. Implementations
 // walk the request through the modeled resources.
@@ -28,30 +26,77 @@ func throughput(requests int64, start, end Time) float64 {
 	return float64(requests) / span.Seconds()
 }
 
-// clientHeap orders clients by next issue time (ties by id for
+// clientEvent orders clients by next issue time (ties by id for
 // determinism).
 type clientEvent struct {
 	next Time
 	id   int
 }
 
+// clientHeap is a typed min-heap over clientEvents. The load drivers
+// pop and push one event per simulated request, so the container/heap
+// version boxed (allocated) every request; the typed heap is
+// allocation-free. init/push/pop perform the same sifts in the same
+// order as container/heap, so the event order — and therefore every
+// downstream placement decision — is unchanged.
 type clientHeap []clientEvent
 
-func (h clientHeap) Len() int { return len(h) }
-func (h clientHeap) Less(i, j int) bool {
+func (h clientHeap) less(i, j int) bool {
 	if h[i].next != h[j].next {
 		return h[i].next < h[j].next
 	}
 	return h[i].id < h[j].id
 }
-func (h clientHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *clientHeap) Push(x any)   { *h = append(*h, x.(clientEvent)) }
-func (h *clientHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// init establishes the heap invariant (heap.Init).
+func (h clientHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+// push appends ev and sifts it up (heap.Push).
+func (h *clientHeap) push(ev clientEvent) {
+	*h = append(*h, ev)
+	j := len(*h) - 1
+	s := *h
+	for {
+		i := (j - 1) / 2
+		if i == j || !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum event (heap.Pop).
+func (h *clientHeap) pop() clientEvent {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s.down(0, n)
+	ev := s[n]
+	*h = s[:n]
+	return ev
+}
+
+func (h clientHeap) down(i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // ClosedLoop drives `clients` concurrent closed-loop clients, each
@@ -95,9 +140,9 @@ func (c ClosedLoop) Run(fn RequestFunc) *Result {
 	for i := 0; i < c.Clients; i++ {
 		h = append(h, clientEvent{next: Time(i) * c.Stagger, id: i})
 	}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(clientEvent)
+	h.init()
+	for len(h) > 0 {
+		ev := h.pop()
 		issue := ev.next
 		done := fn(ev.id, issue)
 		if done < issue {
@@ -119,7 +164,7 @@ func (c ClosedLoop) Run(fn RequestFunc) *Result {
 			if rng != nil {
 				next += Time(rng.Uint64n(uint64(c.Jitter)))
 			}
-			heap.Push(&h, clientEvent{next: next, id: ev.id})
+			h.push(clientEvent{next: next, id: ev.id})
 		}
 	}
 	res.Throughput = throughput(res.Requests, res.Start, res.End)
@@ -133,6 +178,7 @@ type OpenLoop struct {
 	Clients  int
 	PerCli   int
 	Interval Duration // inter-arrival time per client
+	Warmup   int      // per-client requests excluded from latency stats
 }
 
 // Run executes the open loop over fn.
@@ -150,10 +196,10 @@ func (o OpenLoop) Run(fn RequestFunc) *Result {
 	for i := 0; i < o.Clients; i++ {
 		h = append(h, clientEvent{next: 0, id: i})
 	}
-	heap.Init(&h)
+	h.init()
 	issued := make([]int, o.Clients)
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(clientEvent)
+	for len(h) > 0 {
+		ev := h.pop()
 		done := fn(ev.id, ev.next)
 		if done < ev.next {
 			done = ev.next
@@ -166,9 +212,11 @@ func (o OpenLoop) Run(fn RequestFunc) *Result {
 		if done > res.End {
 			res.End = done
 		}
-		res.Latency.Record(done - ev.next)
+		if issued[ev.id] > o.Warmup {
+			res.Latency.Record(done - ev.next)
+		}
 		if issued[ev.id] < o.PerCli {
-			heap.Push(&h, clientEvent{next: ev.next + o.Interval, id: ev.id})
+			h.push(clientEvent{next: ev.next + o.Interval, id: ev.id})
 		}
 	}
 	res.Throughput = throughput(res.Requests, res.Start, res.End)

@@ -105,6 +105,39 @@ func TestOpenLoopFixedRate(t *testing.T) {
 	}
 }
 
+func TestOpenLoopWarmupExcluded(t *testing.T) {
+	// Mirror of TestClosedLoopWarmupExcluded: the first Warmup requests
+	// per client carry cold-start latency and must not pollute the
+	// distribution, while Requests still counts them.
+	cold := 0
+	res := OpenLoop{Clients: 2, PerCli: 10, Interval: Microsecond, Warmup: 3}.Run(
+		func(_ int, issue Time) Time {
+			cold++
+			if cold <= 6 { // both clients' first 3 requests
+				return issue + 100*Microsecond
+			}
+			return issue + Microsecond
+		})
+	if res.Latency.Count() != 14 { // (10-3) per client x 2
+		t.Fatalf("recorded=%d, want 14", res.Latency.Count())
+	}
+	if res.Requests != 20 {
+		t.Fatalf("requests=%d, want 20", res.Requests)
+	}
+	if res.Latency.Max() != Microsecond {
+		t.Fatalf("max=%v, cold-start samples leaked past warmup", res.Latency.Max())
+	}
+}
+
+func TestOpenLoopWarmupDefaultUnchanged(t *testing.T) {
+	// Zero value keeps the pre-Warmup behaviour: every sample recorded.
+	res := OpenLoop{Clients: 1, PerCli: 5, Interval: Microsecond}.Run(
+		func(_ int, issue Time) Time { return issue + Microsecond })
+	if res.Latency.Count() != 5 {
+		t.Fatalf("recorded=%d, want 5", res.Latency.Count())
+	}
+}
+
 func TestOpenLoopCompletionClamped(t *testing.T) {
 	res := OpenLoop{Clients: 1, PerCli: 3, Interval: Microsecond}.Run(
 		func(_ int, issue Time) Time { return issue - Microsecond }) // buggy fn

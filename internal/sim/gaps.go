@@ -1,0 +1,260 @@
+package sim
+
+// gapTable indexes a resource's backfillable idle windows so that
+// Resource.place no longer pays O(gaps) per Acquire. It is the indexed
+// replacement for the original flat `[]gap` slice, and its contract is
+// bit-exact equivalence with the original linear scan (see
+// placement_equiv_test.go):
+//
+//   - the winning gap for (now, occupy) is the age-earliest gap that
+//     achieves the minimal feasible start s = max(now, g.start) subject
+//     to s+occupy <= g.end;
+//   - when the table is full, recording a new gap evicts the oldest
+//     live gap.
+//
+// Both rules are age-sensitive: two gaps can tie on feasible start (the
+// common case is several gaps straddling `now`, all feasible at s ==
+// now), and the original scan breaks that tie toward the gap recorded
+// first. A start-ordered structure cannot reproduce that order, so the
+// table keeps gaps in age order — a sliding window over a flat buffer —
+// and gets its speedup from three exact prunes layered on top:
+//
+//  1. a tracked max-gap-length upper bound: occupy > maxLen means no
+//     gap can fit and the scan is skipped entirely;
+//  2. per-block summaries (min start, max end, max length over 64-gap
+//     blocks): a block is scanned only if it can hold a gap covering
+//     [now, now+occupy] or a future gap that fits and could still beat
+//     the best candidate so far;
+//  3. early exit on the first gap feasible at s == now: no later gap
+//     can strictly beat it, and the original scan would also have kept
+//     it (replacement there requires a strictly earlier start).
+//
+// Consumed gaps become tombstones (start=MaxTime, end=0 — a window no
+// request can fit) instead of being spliced out, and eviction advances
+// the window head, so both are O(1) in buffer traffic where the slice
+// paid an O(n) memmove. Appends slide the tail forward; when the tail
+// reaches the end of the buffer the live gaps are compacted back to the
+// front. The buffer is 2x maxGaps, so each compaction is separated by
+// at least maxGaps appends and amortizes to O(1) per append.
+type gapTable struct {
+	buf    []gap      // fixed 2*maxGaps slots; live window is [head, tail)
+	blocks []gapBlock // per-block summaries over the full buffer
+	head   int        // oldest slot (may be a tombstone)
+	tail   int        // one past the newest slot
+	live   int        // live (non-tombstone) gaps in [head, tail)
+	maxLen Duration   // upper bound on live gap length; exact after compact
+}
+
+// gapBlock summarizes one gapBlockSize-aligned run of buffer slots.
+// Tombstones are neutral: they cannot lower minStart, raise maxEnd, or
+// raise maxLen, so a summary over the full physical block stays valid.
+type gapBlock struct {
+	minStart Time
+	maxEnd   Time
+	maxLen   Duration
+}
+
+const (
+	gapBlockShift = 6 // 64 gaps per summary block
+	gapBlockSize  = 1 << gapBlockShift
+)
+
+// deadGap marks a consumed or evicted slot. max(now, MaxTime)+occupy
+// can never sit inside [MaxTime, 0), so tombstones fail every
+// feasibility test without a dedicated branch (the fit check is written
+// end-s >= occupy, which cannot overflow for any slot state).
+var deadGap = gap{start: MaxTime, end: 0}
+
+func newGapTable() *gapTable {
+	t := &gapTable{
+		buf:    make([]gap, 2*maxGaps),
+		blocks: make([]gapBlock, (2*maxGaps)/gapBlockSize),
+	}
+	for i := range t.buf {
+		t.buf[i] = deadGap
+	}
+	for i := range t.blocks {
+		t.blocks[i] = deadBlock()
+	}
+	return t
+}
+
+func deadBlock() gapBlock {
+	return gapBlock{minStart: MaxTime, maxEnd: 0, maxLen: 0}
+}
+
+// len reports the number of live gaps.
+func (t *gapTable) len() int { return t.live }
+
+// add appends a gap as the newest entry, evicting the oldest live gap
+// first when the table is at capacity — the same drop-oldest policy the
+// flat slice used, but O(1) instead of an O(n) memmove.
+func (t *gapTable) add(g gap) {
+	if t.live >= maxGaps {
+		t.evictOldest()
+	}
+	if t.tail == len(t.buf) {
+		t.compact()
+	}
+	slot := t.tail
+	t.tail++
+	t.live++
+	t.buf[slot] = g
+	blk := &t.blocks[slot>>gapBlockShift]
+	if g.start < blk.minStart {
+		blk.minStart = g.start
+	}
+	if g.end > blk.maxEnd {
+		blk.maxEnd = g.end
+	}
+	if l := g.end - g.start; l > blk.maxLen {
+		blk.maxLen = l
+		if l > t.maxLen {
+			t.maxLen = l
+		}
+	}
+}
+
+// evictOldest tombstones the oldest live gap.
+func (t *gapTable) evictOldest() {
+	for t.buf[t.head] == deadGap {
+		t.head++
+	}
+	t.buf[t.head] = deadGap
+	t.head++
+	t.live--
+	// The head block's summary now over-approximates; rescan keeps the
+	// prunes tight. t.maxLen is left as an upper bound (still exact for
+	// the skip) and re-tightened by search misses and compaction.
+	t.rescanBlock((t.head - 1) >> gapBlockShift)
+}
+
+// take removes and returns the gap at slot (previously returned by
+// search).
+func (t *gapTable) take(slot int) gap {
+	g := t.buf[slot]
+	t.buf[slot] = deadGap
+	t.live--
+	t.rescanBlock(slot >> gapBlockShift)
+	return g
+}
+
+// rescanBlock rebuilds one block's summary from its slots.
+func (t *gapTable) rescanBlock(b int) {
+	lo := b << gapBlockShift
+	blk := deadBlock()
+	for _, g := range t.buf[lo : lo+gapBlockSize] {
+		if g.start < blk.minStart {
+			blk.minStart = g.start
+		}
+		if g.end > blk.maxEnd {
+			blk.maxEnd = g.end
+		}
+		if l := g.end - g.start; l > blk.maxLen {
+			blk.maxLen = l
+		}
+	}
+	t.blocks[b] = blk
+}
+
+// compact slides the live gaps back to the front of the buffer in age
+// order and rebuilds the summaries and the exact max length.
+func (t *gapTable) compact() {
+	n := 0
+	for i := t.head; i < t.tail; i++ {
+		if g := t.buf[i]; g != deadGap {
+			t.buf[n] = g
+			n++
+		}
+	}
+	for i := n; i < t.tail; i++ {
+		t.buf[i] = deadGap
+	}
+	t.head, t.tail = 0, n
+	t.maxLen = 0
+	for b := range t.blocks {
+		t.rescanBlock(b)
+		if t.blocks[b].maxLen > t.maxLen {
+			t.maxLen = t.blocks[b].maxLen
+		}
+	}
+}
+
+// search returns the slot of the gap the original linear scan would
+// have chosen for an operation of length occupy arriving at now, and
+// the feasible start within it, or slot -1 if no gap fits.
+func (t *gapTable) search(now Time, occupy Duration) (slot int, start Time) {
+	if t.live == 0 || occupy > t.maxLen {
+		return -1, 0
+	}
+	target := now + occupy
+	best := -1
+	var bestStart Time
+	var tightMax Duration
+	lastBlock := (t.tail - 1) >> gapBlockShift
+	for b := t.head >> gapBlockShift; b <= lastBlock; b++ {
+		blk := &t.blocks[b]
+		if blk.maxLen > tightMax {
+			tightMax = blk.maxLen
+		}
+		// Any feasible gap ends at or after now+occupy (s >= now always),
+		// so maxEnd < target prunes a block outright — in steady state
+		// most remembered windows are wholly in the past and this is the
+		// prune that carries the load. A surviving block is scanned if it
+		// can hold a covering gap (start <= now, feasible at s == now) or
+		// a future gap at least occupy long starting strictly before the
+		// best candidate so far (the original scan's strict-< replacement
+		// rule).
+		if blk.maxEnd < target {
+			continue
+		}
+		scanCovering := blk.minStart <= now
+		scanFuture := blk.maxLen >= occupy && (best < 0 || blk.minStart < bestStart)
+		if !scanCovering && !scanFuture {
+			continue
+		}
+		lo := b << gapBlockShift
+		hi := lo + gapBlockSize
+		if lo < t.head {
+			lo = t.head
+		}
+		if hi > t.tail {
+			hi = t.tail
+		}
+		for i := lo; i < hi; i++ {
+			g := t.buf[i]
+			s := now
+			if g.start > now {
+				s = g.start
+			}
+			if g.end-s < occupy { // tombstones always fail here
+				continue
+			}
+			if s == now {
+				// Age-earliest covering gap: nothing later can strictly
+				// improve on it, exactly as in the linear scan.
+				return i, s
+			}
+			if best < 0 || s < bestStart {
+				best, bestStart = i, s
+			}
+		}
+	}
+	if best < 0 {
+		// Full miss: every block summary was consulted, so tightMax is
+		// the exact live maximum — re-tighten the skip bound.
+		t.maxLen = tightMax
+	}
+	return best, bestStart
+}
+
+// reset clears the table, keeping the allocation.
+func (t *gapTable) reset() {
+	for i := t.head; i < t.tail; i++ {
+		t.buf[i] = deadGap
+	}
+	t.head, t.tail, t.live, t.maxLen = 0, 0, 0, 0
+	for i := range t.blocks {
+		t.blocks[i] = deadBlock()
+	}
+}

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Histogram collects latency samples and reports order statistics.
@@ -11,7 +11,9 @@ import (
 // distribution's shape for large runs.
 type Histogram struct {
 	samples []Time
-	stride  int64 // record every stride-th sample once past cap
+	sorted  []Time // cached sorted view of samples; valid when !dirty
+	dirty   bool   // samples changed since sorted was built
+	stride  int64  // record every stride-th sample once past cap
 	seen    int64
 	sum     Time
 	min     Time
@@ -31,6 +33,17 @@ func NewHistogram(cap int) *Histogram {
 	return &Histogram{stride: 1, min: MaxTime, cap: cap}
 }
 
+// thin keeps every other retained sample in place and doubles the
+// stride.
+func (h *Histogram) thin() {
+	n := len(h.samples)
+	for j := 1; 2*j < n; j++ {
+		h.samples[j] = h.samples[2*j]
+	}
+	h.samples = h.samples[:(n+1)/2]
+	h.stride *= 2
+}
+
 // Record adds one sample.
 func (h *Histogram) Record(v Time) {
 	h.seen++
@@ -45,27 +58,24 @@ func (h *Histogram) Record(v Time) {
 		return
 	}
 	if len(h.samples) >= h.cap {
-		// Thin: keep every other retained sample and double the stride.
-		kept := h.samples[:0]
-		for i := 0; i < len(h.samples); i += 2 {
-			kept = append(kept, h.samples[i])
-		}
-		h.samples = kept
-		h.stride *= 2
+		h.thin()
 		if h.seen%h.stride != 0 {
 			return
 		}
 	}
 	h.samples = append(h.samples, v)
+	h.dirty = true
 }
 
 // Merge folds other's samples into h, preserving exact count/sum/min/
 // max. Retained samples are concatenated and re-thinned under h's cap;
-// h adopts the coarser of the two strides so percentile resolution
-// degrades the same way a single histogram's would. Sweep points in
-// internal/runner each own a private histogram, so merging happens (if
-// at all) after the parallel phase, on one goroutine, in sweep order —
-// Merge is deliberately not safe for concurrent use, like Record.
+// h adopts the coarser of the two strides, and when the strides differ
+// the finer side is first re-thinned to the adopted stride — appending
+// it raw would over-represent it, since each of its retained samples
+// stands for fewer recorded ones. Sweep points in internal/runner each
+// own a private histogram, so merging happens (if at all) after the
+// parallel phase, on one goroutine, in sweep order — Merge is
+// deliberately not safe for concurrent use, like Record.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.seen == 0 {
 		return
@@ -78,18 +88,22 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other.max > h.max {
 		h.max = other.max
 	}
-	if other.stride > h.stride {
-		h.stride = other.stride
+	// Strides are powers of two (they only ever double), so the
+	// re-thinning factors below are exact.
+	for h.stride < other.stride {
+		h.thin()
 	}
-	h.samples = append(h.samples, other.samples...)
-	for len(h.samples) > h.cap {
-		kept := h.samples[:0]
-		for i := 0; i < len(h.samples); i += 2 {
-			kept = append(kept, h.samples[i])
+	if k := int(h.stride / other.stride); k > 1 {
+		for i := 0; i < len(other.samples); i += k {
+			h.samples = append(h.samples, other.samples[i])
 		}
-		h.samples = kept
-		h.stride *= 2
+	} else {
+		h.samples = append(h.samples, other.samples...)
 	}
+	for len(h.samples) > h.cap {
+		h.thin()
+	}
+	h.dirty = true
 }
 
 // Count returns the number of recorded samples (including thinned ones).
@@ -115,14 +129,19 @@ func (h *Histogram) Min() Time {
 func (h *Histogram) Max() Time { return h.max }
 
 // Percentile returns the p-th percentile (0 < p <= 100) over retained
-// samples. The retained set is exact for runs under the cap.
+// samples. The retained set is exact for runs under the cap. The sorted
+// view is cached, so a P50/P99/P999 triple after a run sorts once
+// instead of copying and sorting per call.
 func (h *Histogram) Percentile(p float64) Time {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	s := make([]Time, len(h.samples))
-	copy(s, h.samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if h.dirty || len(h.sorted) != len(h.samples) {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		slices.Sort(h.sorted)
+		h.dirty = false
+	}
+	s := h.sorted
 	if p <= 0 {
 		return s[0]
 	}

@@ -151,6 +151,82 @@ func TestHistogramMergeEmptyAndNil(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeStrideBias(t *testing.T) {
+	// A coarse histogram (stride 4: 1/4 of samples retained) merged with
+	// a fine one (stride 1: all retained) must not let the fine side
+	// dominate the percentile set. Give the fine side a low-valued
+	// distribution 1/4 the size of the coarse side's high-valued one: by
+	// sample count the split is 4:1 high:low, so P50 must land in the
+	// high region. Before the re-thinning fix, both sides retained
+	// ~equal sample counts and P50 collapsed into the low region.
+	coarse := NewHistogram(256)
+	for i := 0; i < 1024; i++ { // forces stride 4 (two thins)
+		coarse.Record(Time(900+i%100) * Microsecond)
+	}
+	if coarse.stride != 4 {
+		t.Fatalf("coarse stride=%d, want 4", coarse.stride)
+	}
+	fine := NewHistogram(256)
+	for i := 0; i < 256; i++ {
+		fine.Record(Time(1+i%100) * Microsecond)
+	}
+	if fine.stride != 1 {
+		t.Fatalf("fine stride=%d, want 1", fine.stride)
+	}
+
+	merged := NewHistogram(256)
+	merged.Merge(coarse)
+	merged.Merge(fine)
+	if merged.Count() != 1280 {
+		t.Fatalf("count=%d", merged.Count())
+	}
+	if merged.stride != 8 { // 320 retained > cap 256 forces one more thin
+		t.Fatalf("merged stride=%d, want 8", merged.stride)
+	}
+	// 4:1 high:low by recorded count: P50 and P99 in the high region,
+	// only the bottom ~20% low.
+	if p := merged.P50(); p < 900*Microsecond {
+		t.Fatalf("p50=%v fell into the over-represented fine side", p)
+	}
+	if p := merged.Percentile(10); p >= 900*Microsecond {
+		t.Fatalf("p10=%v lost the fine side entirely", p)
+	}
+
+	// Merging in the other order must agree on the retained multiset.
+	other := NewHistogram(256)
+	other.Merge(fine)
+	other.Merge(coarse)
+	if other.P50() != merged.P50() || other.stride != merged.stride {
+		t.Fatalf("merge order changed p50: %v vs %v", other.P50(), merged.P50())
+	}
+}
+
+func TestHistogramPercentileCacheInvalidation(t *testing.T) {
+	// Percentile caches a sorted view; Record and Merge must invalidate
+	// it.
+	h := NewHistogram(0)
+	for i := 100; i >= 1; i-- {
+		h.Record(Time(i) * Microsecond)
+	}
+	if got := h.P99(); got != 99*Microsecond {
+		t.Fatalf("p99=%v", got)
+	}
+	h.Record(1000 * Microsecond) // new max, must show up
+	if got := h.Percentile(100); got != 1000*Microsecond {
+		t.Fatalf("p100 after Record=%v, cache not invalidated", got)
+	}
+	src := NewHistogram(0)
+	src.Record(2000 * Microsecond)
+	h.Merge(src)
+	if got := h.Percentile(100); got != 2000*Microsecond {
+		t.Fatalf("p100 after Merge=%v, cache not invalidated", got)
+	}
+	// Repeated queries on an unchanged histogram stay consistent.
+	if h.P50() != h.P50() || h.P999() < h.P50() {
+		t.Fatal("cached percentile inconsistent")
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram(0)
 	h.Record(Microsecond)

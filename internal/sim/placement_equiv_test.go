@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// linearResource is the pre-index placement algorithm, kept verbatim as
+// the reference implementation: a flat age-ordered gap slice with an
+// O(gaps) scan, O(n) slice-delete, O(n) copy on oldest-drop, and a
+// container/heap server heap. gapTable must reproduce its (start, done)
+// stream bit-for-bit on any input — equivalence is the invariant that
+// keeps every figure byte-identical across the optimization.
+type linearResource struct {
+	overhead    Duration
+	psPerByte   float64
+	propagation Duration
+	free        linearServerHeap
+	gaps        []gap
+}
+
+type linearServerHeap []Time
+
+func (h linearServerHeap) Len() int           { return len(h) }
+func (h linearServerHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h linearServerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *linearServerHeap) Push(x any)        { *h = append(*h, x.(Time)) }
+func (h *linearServerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newLinearResource(capacity int, overhead Duration, bytesPerSec float64, propagation Duration) *linearResource {
+	r := &linearResource{overhead: overhead, propagation: propagation}
+	if bytesPerSec > 0 {
+		r.psPerByte = float64(Second) / bytesPerSec
+	}
+	r.free = make(linearServerHeap, capacity)
+	heap.Init(&r.free)
+	return r
+}
+
+func (r *linearResource) serviceTime(bytes int) Duration {
+	return r.overhead + Duration(float64(bytes)*r.psPerByte)
+}
+
+func (r *linearResource) acquire(now Time, bytes int) (start, done Time) {
+	occupy := r.serviceTime(bytes)
+	if occupy == 0 {
+		return now, now + r.propagation
+	}
+	start = r.place(now, occupy)
+	return start, start + occupy + r.propagation
+}
+
+func (r *linearResource) occupy(now Time, dur Duration) (start, end Time) {
+	if dur <= 0 {
+		return now, now
+	}
+	start = r.place(now, dur)
+	return start, start + dur
+}
+
+func (r *linearResource) place(now Time, occupy Duration) Time {
+	best := -1
+	var bestStart Time
+	for i, g := range r.gaps {
+		s := Max(now, g.start)
+		if s+occupy <= g.end && (best < 0 || s < bestStart) {
+			best, bestStart = i, s
+		}
+	}
+	if best >= 0 {
+		g := r.gaps[best]
+		r.gaps = append(r.gaps[:best], r.gaps[best+1:]...)
+		if bestStart > g.start {
+			r.recordGap(g.start, bestStart)
+		}
+		if bestStart+occupy < g.end {
+			r.recordGap(bestStart+occupy, g.end)
+		}
+		return bestStart
+	}
+	frontier := r.free[0]
+	start := Max(now, frontier)
+	if start > frontier {
+		r.recordGap(frontier, start)
+	}
+	r.free[0] = start + occupy
+	heap.Fix(&r.free, 0)
+	return start
+}
+
+func (r *linearResource) recordGap(start, end Time) {
+	if end <= start {
+		return
+	}
+	if len(r.gaps) >= maxGaps {
+		copy(r.gaps, r.gaps[1:])
+		r.gaps = r.gaps[:len(r.gaps)-1]
+	}
+	r.gaps = append(r.gaps, gap{start: start, end: end})
+}
+
+// equivOp is one step of a generated workload.
+type equivOp struct {
+	now    Time
+	bytes  int
+	occupy Duration // > 0 selects Occupy instead of Acquire
+}
+
+// runEquivalence drives the indexed and the linear placement through
+// the same op stream and fails on the first diverging (start, done)
+// pair.
+func runEquivalence(t *testing.T, capacity int, overhead Duration, bytesPerSec float64, propagation Duration, ops []equivOp) {
+	t.Helper()
+	indexed := NewResource("equiv", capacity, overhead, bytesPerSec, propagation)
+	linear := newLinearResource(capacity, overhead, bytesPerSec, propagation)
+	for i, op := range ops {
+		var s1, d1, s2, d2 Time
+		if op.occupy > 0 {
+			s1, d1 = indexed.Occupy(op.now, op.occupy)
+			s2, d2 = linear.occupy(op.now, op.occupy)
+		} else {
+			s1, d1 = indexed.Acquire(op.now, op.bytes)
+			s2, d2 = linear.acquire(op.now, op.bytes)
+		}
+		if s1 != s2 || d1 != d2 {
+			t.Fatalf("op %d (now=%v bytes=%d occupy=%v): indexed (%v,%v) != linear (%v,%v); live gaps=%d",
+				i, op.now, op.bytes, op.occupy, s1, d1, s2, d2, indexed.gaps.len())
+		}
+	}
+	if got, want := indexed.gaps.len(), len(linear.gaps); got != want {
+		t.Fatalf("live gap count diverged: indexed %d, linear %d", got, want)
+	}
+}
+
+// equivStressOps generates a seeded op stream whose arrival times jump
+// forward (opening gaps), linger (backfilling them), and occasionally
+// jump backward (an op of a later request reaching the resource at an
+// earlier virtual time, the case backfilling exists for).
+func equivStressOps(seed uint64, n int, jumpEvery, backEvery int) []equivOp {
+	rng := NewRNG(seed)
+	ops := make([]equivOp, n)
+	now := Time(0)
+	for i := range ops {
+		switch {
+		case jumpEvery > 0 && rng.Intn(jumpEvery) == 0:
+			now += Duration(rng.Intn(int(20 * Microsecond)))
+		case backEvery > 0 && rng.Intn(backEvery) == 0:
+			now -= Duration(rng.Intn(int(5 * Microsecond)))
+			if now < 0 {
+				now = 0
+			}
+		default:
+			now += Duration(rng.Intn(int(100 * Nanosecond)))
+		}
+		if rng.Intn(10) == 0 {
+			ops[i] = equivOp{now: now, occupy: Duration(rng.Intn(int(2*Microsecond)) + 1)}
+		} else {
+			ops[i] = equivOp{now: now, bytes: rng.Intn(4096)}
+		}
+	}
+	return ops
+}
+
+// TestPlacementEquivalenceStress is the randomized 1M-op equivalence
+// run (scaled down under -race, where the linear reference's O(gaps)
+// scans are ~15x slower).
+func TestPlacementEquivalenceStress(t *testing.T) {
+	n := 1_000_000
+	if raceEnabled || testing.Short() {
+		n = 120_000
+	}
+	for _, tc := range []struct {
+		name        string
+		capacity    int
+		overhead    Duration
+		bytesPerSec float64
+		propagation Duration
+		seed        uint64
+	}{
+		{"single-server-bw", 1, 0, 16e9, 300 * Nanosecond, 1},
+		{"multi-server", 7, 30 * Nanosecond, 4e9, 0, 2},
+		{"overhead-only", 3, 50 * Nanosecond, 0, 100 * Nanosecond, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ops := equivStressOps(tc.seed, n, 40, 200)
+			runEquivalence(t, tc.capacity, tc.overhead, tc.bytesPerSec, tc.propagation, ops)
+		})
+	}
+}
+
+// TestPlacementEquivalenceGapSaturated pins the regime the gap cap was
+// added for: the table sits at maxGaps live windows, every record
+// evicts the oldest, and most lookups miss — the linear reference's
+// worst case (full scan plus 64 KiB memmove per record).
+func TestPlacementEquivalenceGapSaturated(t *testing.T) {
+	n := 120_000
+	if raceEnabled || testing.Short() {
+		n = 20_000
+	}
+	rng := NewRNG(99)
+	ops := make([]equivOp, 0, n)
+	now := Time(0)
+	for i := 0; i < n; i++ {
+		// Long forward leaps open a gap on almost every op; tiny
+		// occasional backfills keep the consume path exercised.
+		now += Duration(rng.Intn(int(Microsecond)) + int(100*Nanosecond))
+		if rng.Intn(20) == 0 {
+			back := now - Duration(rng.Intn(int(50*Microsecond)))
+			if back < 0 {
+				back = 0
+			}
+			ops = append(ops, equivOp{now: back, bytes: rng.Intn(64)})
+		} else {
+			ops = append(ops, equivOp{now: now, bytes: rng.Intn(256) + 1})
+		}
+	}
+	runEquivalence(t, 1, 0, 64e9, 0, ops)
+}
+
+// TestPlacementEquivalenceBoundaryPatterns hits the structural edges of
+// gapTable: exact-fit consumes, zero-length remainders, eviction while
+// splitting, and repeated Reset.
+func TestPlacementEquivalenceBoundaryPatterns(t *testing.T) {
+	// Exact fits: every backfill consumes a whole gap (no remainders).
+	ops := []equivOp{
+		{now: Microsecond, bytes: 1000},  // gap [0, 1us)
+		{now: 0, bytes: 1000},            // consumes it exactly
+		{now: 3 * Microsecond, bytes: 0}, // overhead-free
+		{now: 2 * Microsecond, occupy: Microsecond},
+	}
+	runEquivalence(t, 1, 0, 1e9, 0, ops)
+
+	// Eviction pressure with splits: fill past maxGaps, then split many.
+	rng := NewRNG(7)
+	long := make([]equivOp, 0, 3*maxGaps)
+	now := Time(0)
+	for i := 0; i < 2*maxGaps; i++ {
+		now += 2 * Microsecond
+		long = append(long, equivOp{now: now, bytes: 64})
+	}
+	for i := 0; i < maxGaps; i++ {
+		long = append(long, equivOp{now: Duration(rng.Intn(int(now))), bytes: rng.Intn(512) + 1})
+	}
+	runEquivalence(t, 2, 10*Nanosecond, 8e9, 50*Nanosecond, long)
+}
+
+func TestResourceResetClearsGapTable(t *testing.T) {
+	r := NewResource("x", 1, 0, 1e9, 0)
+	r.Acquire(Microsecond, 100) // opens gap [0, 1us)
+	if r.gaps.len() != 1 {
+		t.Fatalf("live gaps=%d, want 1", r.gaps.len())
+	}
+	r.Reset()
+	if r.gaps.len() != 0 {
+		t.Fatalf("Reset left %d gaps", r.gaps.len())
+	}
+	// Post-reset behaviour matches a fresh resource.
+	s, _ := r.Acquire(0, 100)
+	if s != 0 {
+		t.Fatalf("post-reset start=%v", s)
+	}
+}

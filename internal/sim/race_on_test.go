@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled scales down stress-test sizes when the race detector
+// multiplies per-op cost.
+const raceEnabled = true

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Resource models a hardware component as a multi-server FCFS queue:
 // `capacity` parallel servers (memory channels, CPU cores, link lanes,
@@ -19,7 +16,7 @@ type Resource struct {
 	propagation Duration // added to completion, does not occupy a server
 
 	free serverHeap // min-heap of per-server next-free times
-	gaps []gap      // backfillable idle windows, oldest first
+	gaps *gapTable  // backfillable idle windows, oldest first
 
 	// Accumulated statistics.
 	ops      int64
@@ -53,12 +50,12 @@ func NewResource(name string, capacity int, overhead Duration, bytesPerSec float
 		capacity:    capacity,
 		overhead:    overhead,
 		propagation: propagation,
+		gaps:        newGapTable(),
 	}
 	if bytesPerSec > 0 {
 		r.psPerByte = float64(Second) / bytesPerSec
 	}
 	r.free = make(serverHeap, capacity)
-	heap.Init(&r.free)
 	return r
 }
 
@@ -102,27 +99,20 @@ func (r *Resource) Acquire(now Time, bytes int) (start, done Time) {
 
 // place finds the earliest service slot of length occupy at or after
 // now: first by backfilling a remembered idle gap, then at the earliest
-// server frontier (recording any idle window this opens).
+// server frontier (recording any idle window this opens). The gap
+// lookup is indexed (see gapTable) but chooses the same slot the
+// original linear scan over the age-ordered gap list would have.
 func (r *Resource) place(now Time, occupy Duration) Time {
-	best := -1
-	var bestStart Time
-	for i, g := range r.gaps {
-		s := Max(now, g.start)
-		if s+occupy <= g.end && (best < 0 || s < bestStart) {
-			best, bestStart = i, s
-		}
-	}
-	if best >= 0 {
-		g := r.gaps[best]
+	if slot, s := r.gaps.search(now, occupy); slot >= 0 {
+		g := r.gaps.take(slot)
 		// Replace the consumed gap with its (up to two) remainders.
-		r.gaps = append(r.gaps[:best], r.gaps[best+1:]...)
-		if bestStart > g.start {
-			r.recordGap(g.start, bestStart)
+		if s > g.start {
+			r.recordGap(g.start, s)
 		}
-		if bestStart+occupy < g.end {
-			r.recordGap(bestStart+occupy, g.end)
+		if s+occupy < g.end {
+			r.recordGap(s+occupy, g.end)
 		}
-		return bestStart
+		return s
 	}
 	frontier := r.free[0]
 	start := Max(now, frontier)
@@ -130,7 +120,7 @@ func (r *Resource) place(now Time, occupy Duration) Time {
 		r.recordGap(frontier, start)
 	}
 	r.free[0] = start + occupy
-	heap.Fix(&r.free, 0)
+	r.free.fixRoot()
 	return start
 }
 
@@ -138,13 +128,9 @@ func (r *Resource) recordGap(start, end Time) {
 	if end <= start {
 		return
 	}
-	if len(r.gaps) >= maxGaps {
-		// Drop the oldest window; old gaps are the least likely to be
-		// backfillable by future arrivals.
-		copy(r.gaps, r.gaps[1:])
-		r.gaps = r.gaps[:len(r.gaps)-1]
-	}
-	r.gaps = append(r.gaps, gap{start: start, end: end})
+	// gapTable.add drops the oldest window when full; old gaps are the
+	// least likely to be backfillable by future arrivals.
+	r.gaps.add(gap{start: start, end: end})
 }
 
 // Occupy books a server for `dur` starting at or after `now`,
@@ -199,21 +185,34 @@ func (r *Resource) Reset() {
 	for i := range r.free {
 		r.free[i] = 0
 	}
-	r.gaps = r.gaps[:0]
+	r.gaps.reset()
 	r.ops, r.bytes, r.busy, r.lastDone = 0, 0, 0, 0
 }
 
-// serverHeap is a min-heap over per-server next-free times.
+// serverHeap is a min-heap over per-server next-free times. It inlines
+// the one operation Resource needs — restoring the invariant after the
+// root's frontier advances — instead of going through container/heap's
+// interface, which boxed every element access. The sift order is the
+// same as container/heap's down(), so the heap layout (and therefore
+// placement under frontier ties) is unchanged.
 type serverHeap []Time
 
-func (h serverHeap) Len() int           { return len(h) }
-func (h serverHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h serverHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *serverHeap) Push(x any)        { *h = append(*h, x.(Time)) }
-func (h *serverHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// fixRoot is heap.Fix(h, 0) for a root-only mutation.
+func (h serverHeap) fixRoot() {
+	i := 0
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2] < h[j] {
+			j = j2
+		}
+		if h[i] <= h[j] {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
