@@ -32,10 +32,10 @@ figures-quick:
 	$(GO) run ./cmd/rambda-figures -quick -parallel $(PARALLEL)
 
 # Performance-regression harness: times every figure plus the sim
-# microbenchmark kernels and writes BENCH_2.json (schema documented in
+# microbenchmark kernels and writes BENCH_3.json (schema documented in
 # cmd/rambda-bench and EXPERIMENTS.md).
 bench:
-	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -out BENCH_2.json
+	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -out BENCH_3.json -baseline BENCH_2.json
 
 # Microbenchmarks only, compared against the committed baseline; fails
 # on a >25% machine-normalized regression. This is what CI's

@@ -45,7 +45,9 @@ import (
 	"testing"
 	"time"
 
+	"rambda/internal/chainrep"
 	"rambda/internal/experiments"
+	"rambda/internal/rnic"
 	"rambda/internal/runner"
 	"rambda/internal/sim"
 )
@@ -91,6 +93,9 @@ var microKernels = []struct {
 	{"HistogramRecord", func(n int) { sim.BenchHistogramRecord(n) }},
 	{"HistogramPercentile", func(n int) { sim.BenchHistogramPercentile(n) }},
 	{"ZipfNext", func(n int) { sim.BenchZipf(n) }},
+	{"RCWriteHotPath", func(n int) { rnic.BenchWriteHotPath(n) }},
+	{"RCRetransmitStorm", func(n int) { rnic.BenchRetransmitStorm(n) }},
+	{"ChainFailoverReplay", func(n int) { chainrep.BenchFailoverReplay(n) }},
 }
 
 func main() {

@@ -3,6 +3,7 @@ package chainrep
 import (
 	"errors"
 
+	"rambda/internal/fault"
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
 	"rambda/internal/sim"
@@ -102,6 +103,17 @@ type Chain struct {
 	HopDelay sim.Duration
 	// WireBPS is the network bandwidth for payload serialization.
 	WireBPS float64
+
+	// Availability layer (failover.go). inj == nil — the default, until
+	// EnableFaultDetection — is the fault-free fast path: no liveness
+	// checks, no history retention, byte-identical timing.
+	inj        *fault.Injector
+	ackTimeout sim.Duration
+	alive      []bool
+	downKind   []fault.Kind
+	applied    []int     // committed write sets applied per replica
+	history    [][]Tuple // committed write sets, for rejoin catch-up
+	fstats     FailoverStats
 }
 
 // wire returns the serialization delay of `bytes` on the chain's links.
@@ -125,10 +137,16 @@ func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err
 		reqBytes = len(EncodeEntry(tx.Writes))
 	}
 	at := now + c.wire(reqBytes) + c.ClientOneWay
-	head := c.Nodes[0]
+	hi, at, err := c.headAt(at)
+	if err != nil {
+		return nil, now, err
+	}
+	head := c.Nodes[hi]
 
 	// Reads execute at the head (chain replication serves consistent
-	// reads from one end).
+	// reads from one end); after a head crash the detector has already
+	// routed us to the next live replica, which holds every committed
+	// write.
 	respBytes := ackBytes
 	for _, r := range tx.Reads {
 		var data []byte
@@ -140,13 +158,20 @@ func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err
 	// Writes replicate down the chain (read-only transactions skip the
 	// chain entirely, like HyperLoop's direct reads).
 	if len(tx.Writes) > 0 {
-		for i, node := range c.Nodes {
-			if i > 0 {
-				at += c.HopDelay + c.wire(reqBytes)
-			}
-			at, err = node.applyTx(at, tx.Writes)
+		if c.inj != nil {
+			at, err = c.replicateFaulty(at, tx.Writes, reqBytes)
 			if err != nil {
 				return nil, now, err
+			}
+		} else {
+			for i, node := range c.Nodes {
+				if i > 0 {
+					at += c.HopDelay + c.wire(reqBytes)
+				}
+				at, err = node.applyTx(at, tx.Writes)
+				if err != nil {
+					return nil, now, err
+				}
 			}
 		}
 	}
@@ -190,6 +215,10 @@ func (c *Chain) HyperLoopTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time) 
 // comparison for that reason.
 func (c *Chain) ReadTx(now sim.Time, r ReadOp) ([]byte, sim.Time) {
 	at := now + c.ClientOneWay + c.wire(ackBytes)
-	data, at := c.Nodes[0].Store.Read(at, r.Offset, r.Len)
+	hi, at, err := c.headAt(at)
+	if err != nil {
+		return nil, at
+	}
+	data, at := c.Nodes[hi].Store.Read(at, r.Offset, r.Len)
 	return data, at + c.ClientOneWay + c.wire(r.Len)
 }

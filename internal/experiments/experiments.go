@@ -40,6 +40,7 @@ func StandardSpecs(quick bool) []Spec {
 	kvs := DefaultKVSConfig()
 	f12 := DefaultFig12Config()
 	f13 := DefaultFig13Config()
+	chaos := DefaultChaosConfig()
 	fig1Requests := 20000
 	if quick {
 		fig1Requests = 4000
@@ -50,7 +51,11 @@ func StandardSpecs(quick bool) []Spec {
 		f12.Transactions = 4000
 		f13.Queries = 6000
 		f13.RowScale = 0.1
+		chaos.Writes = 1200
+		chaos.Txs = 600
 	}
+	// The chaos spec stays LAST: figure goldens pin the print order of
+	// the paper figures, and new non-paper experiments append after them.
 	return []Spec{
 		Fig1Spec(fig1Requests, 1),
 		Fig5Spec(),
@@ -62,6 +67,7 @@ func StandardSpecs(quick bool) []Spec {
 		Fig12Spec(f12),
 		Fig13Spec(f13),
 		ScalabilitySpec(DefaultScalabilityConfig()),
+		ChaosSpec(chaos),
 	}
 }
 

@@ -5,7 +5,12 @@
 // future-platform projection), and the datacenter Ethernet/RoCE link.
 package interconnect
 
-import "rambda/internal/sim"
+import (
+	"fmt"
+
+	"rambda/internal/fault"
+	"rambda/internal/sim"
+)
 
 // PCIe models one direction of a PCIe endpoint's link. DMA transfers
 // are split into TLPs with per-packet header overhead; MMIO writes
@@ -103,13 +108,17 @@ func (l *CCLink) Resource() *sim.Resource { return l.res }
 // overhead and one-way propagation (half the base RTT, including switch
 // and NIC pipeline latency).
 //
-// For failure injection, a deterministic loss process can be enabled
-// with InjectLoss: lost packets are retransmitted by the RC transport
-// after a retransmission timeout, so delivery stays reliable (the RDMA
-// guarantee) while tail latency inflates — the behaviour congested or
-// lossy RoCE fabrics exhibit.
+// Failure injection comes in two flavours. The legacy InjectLoss knob
+// enables a self-healing loss process inside Send (lost packets are
+// retransmitted by the link after a timeout, so delivery stays reliable
+// while tail latency inflates). The richer path is a fault.Plan rule
+// attached with AttachFaults: Transmit consults the plan per packet and
+// reports drops/corruption/duplication to the caller, so a reliability
+// layer above (the RC queue pair in internal/rnic) can do real
+// timeout-driven retransmission with backoff.
 type NetLink struct {
-	res *sim.Resource
+	res  *sim.Resource
+	name string
 
 	// HeaderBytes is the per-packet wire overhead (Ethernet + IP + UDP
 	// + BTH + ICRC + preamble/IFG ≈ 90 B for RoCEv2).
@@ -121,6 +130,10 @@ type NetLink struct {
 	rto      sim.Duration
 	rng      *sim.RNG
 	lost     int64
+
+	// fi is the link's fault process; nil (the common case) is the
+	// allocation-free clean fast path.
+	fi *fault.LinkInjector
 }
 
 // NewNetLink builds one network direction with the given wire bandwidth
@@ -128,10 +141,24 @@ type NetLink struct {
 func NewNetLink(name string, bytesPerSec float64, oneWay sim.Duration) *NetLink {
 	return &NetLink{
 		res:         sim.NewResource(name, 1, 0, bytesPerSec, oneWay),
+		name:        name,
 		HeaderBytes: 90,
 		MTU:         4096,
 	}
 }
+
+// Name returns the link name used for fault-plan matching.
+func (n *NetLink) Name() string { return n.name }
+
+// AttachFaults binds the link to its rule in the instantiated plan (a
+// no-op when the plan has no rule for this link name).
+func (n *NetLink) AttachFaults(inj *fault.Injector) {
+	n.fi = inj.Link(n.name)
+}
+
+// Faults returns the link's fault injector (nil when clean) so
+// transports can report loss statistics.
+func (n *NetLink) Faults() *fault.LinkInjector { return n.fi }
 
 // InjectLoss enables the loss process: each transmission attempt drops
 // with probability rate and is retried after rto.
@@ -147,9 +174,26 @@ func (n *NetLink) InjectLoss(rate float64, rto sim.Duration, seed uint64) {
 // Lost reports dropped transmission attempts.
 func (n *NetLink) Lost() int64 { return n.lost }
 
-// Send schedules a message of `bytes` payload and returns its arrival
-// time at the far end.
-func (n *NetLink) Send(now sim.Time, bytes int) sim.Time {
+// Outcome reports the fate of one Transmit: when the last packet's
+// wire time ended, and what the fault plan did to the burst. Arrive is
+// meaningful even for dropped bursts (the attempt occupied the wire);
+// delivery happened only when neither Dropped nor Corrupted is set —
+// a corrupted burst reaches the far end but fails the receiver's ICRC
+// check, so a reliable transport treats it exactly like a loss.
+type Outcome struct {
+	Arrive     sim.Time
+	Dropped    bool
+	Corrupted  bool
+	Duplicates int
+}
+
+// Transmit schedules a message of `bytes` payload, consulting the fault
+// plan once per packet, and reports the outcome to the caller. This is
+// the primitive for transports that own their reliability (the RC queue
+// pair): a drop is NOT retried here. With no fault rule attached the
+// call reduces to exactly one resource acquisition — the clean path
+// allocates nothing and draws no randomness.
+func (n *NetLink) Transmit(now sim.Time, bytes int) Outcome {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -159,11 +203,77 @@ func (n *NetLink) Send(now sim.Time, bytes int) sim.Time {
 	}
 	wire := bytes + pkts*n.HeaderBytes
 	_, done := n.res.Acquire(now, wire)
-	for n.lossRate > 0 && n.rng.Float64() < n.lossRate {
-		// The attempt burned wire time but never arrived; the RC
-		// transport retransmits after the timeout.
+	out := Outcome{Arrive: done}
+	if n.fi != nil {
+		var spike sim.Duration
+		for p := 0; p < pkts; p++ {
+			d := n.fi.Decide()
+			if d.Drop {
+				out.Dropped = true
+				continue
+			}
+			if d.Corrupt {
+				out.Corrupted = true
+			}
+			if d.Duplicate {
+				out.Duplicates++
+			}
+			if d.Delay > spike {
+				spike = d.Delay
+			}
+		}
+		// Duplicated packets burn extra wire occupancy; the receiver's
+		// PSN check discards them, so they only cost time.
+		for i := 0; i < out.Duplicates; i++ {
+			pkt := bytes
+			if pkt > n.MTU {
+				pkt = n.MTU
+			}
+			_, done = n.res.Acquire(done, pkt+n.HeaderBytes)
+		}
+		// The message lands when its slowest packet does.
+		out.Arrive = done + spike
+	}
+	// Legacy InjectLoss process: one draw per transmission attempt
+	// (whole-message, matching the original Send semantics).
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		out.Dropped = true
+	}
+	return out
+}
+
+// sendRedeliverCap bounds the link-level redelivery loop for Send
+// callers without their own transport; a plan that drops every packet
+// on such a link is a configuration error, not a simulation state.
+const sendRedeliverCap = 64
+
+// defaultRedeliver is the link-level retransmission timeout used by
+// Send when the caller enabled a fault plan but never configured an RTO
+// via InjectLoss.
+const defaultRedeliver = 20 * sim.Microsecond
+
+// Send schedules a message of `bytes` payload and returns its arrival
+// time at the far end. Delivery is reliable at link level: fault-plan
+// drops (and corruption, which the receiver's ICRC discards) are
+// redelivered after a timeout, as is the legacy InjectLoss process —
+// use Transmit to see losses instead of absorbing them.
+func (n *NetLink) Send(now sim.Time, bytes int) sim.Time {
+	if bytes < 0 {
+		bytes = 0
+	}
+	out := n.Transmit(now, bytes)
+	done := out.Arrive
+	for attempt := 0; out.Dropped || out.Corrupted; attempt++ {
+		if attempt >= sendRedeliverCap {
+			panic(fmt.Sprintf("interconnect: link %q dropped %d consecutive redeliveries — fault plan starves Send callers", n.name, attempt))
+		}
 		n.lost++
-		_, done = n.res.Acquire(done+n.rto, wire)
+		rto := n.rto
+		if rto <= 0 {
+			rto = defaultRedeliver
+		}
+		out = n.Transmit(done+rto, bytes)
+		done = out.Arrive
 	}
 	return done
 }
@@ -183,4 +293,10 @@ func NewDuplex(name string, bytesPerSec float64, oneWay sim.Duration) *Duplex {
 		AtoB: NewNetLink(name+":a->b", bytesPerSec, oneWay),
 		BtoA: NewNetLink(name+":b->a", bytesPerSec, oneWay),
 	}
+}
+
+// AttachFaults binds both directions to their rules in the plan.
+func (d *Duplex) AttachFaults(inj *fault.Injector) {
+	d.AtoB.AttachFaults(inj)
+	d.BtoA.AttachFaults(inj)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"rambda/internal/fault"
 	"rambda/internal/sim"
 )
 
@@ -161,5 +162,98 @@ func TestLossFreeLinkUnchanged(t *testing.T) {
 	b.InjectLoss(0, sim.Microsecond, 1)
 	if a.Send(0, 100) != b.Send(0, 100) {
 		t.Fatal("zero loss rate must not change timing")
+	}
+}
+
+func TestTransmitCleanMatchesSend(t *testing.T) {
+	a := NewNetLink("clean-a", 3.125e9, 2*sim.Microsecond)
+	b := NewNetLink("clean-b", 3.125e9, 2*sim.Microsecond)
+	for _, bytes := range []int{0, 64, 4096, 70000} {
+		out := a.Transmit(0, bytes)
+		if out.Dropped || out.Corrupted || out.Duplicates != 0 {
+			t.Fatalf("clean transmit perturbed: %+v", out)
+		}
+		if got := b.Send(0, bytes); got != out.Arrive {
+			t.Fatalf("Transmit(%d)=%v, Send=%v — clean paths must agree", bytes, out.Arrive, got)
+		}
+	}
+}
+
+func TestTransmitConsultsPlanPerPacket(t *testing.T) {
+	inj := fault.New(fault.Plan{Seed: 5, Links: []fault.LinkRule{
+		{Link: "faulty", Drop: 0.5},
+	}})
+	n := NewNetLink("faulty", 1e9, 0)
+	n.AttachFaults(inj)
+	// 10 MTUs per transmit => 10 per-packet draws each.
+	const msgs, pktsPer = 200, 10
+	dropped := 0
+	for i := 0; i < msgs; i++ {
+		if n.Transmit(sim.Time(i)*sim.Millisecond, pktsPer*4096).Dropped {
+			dropped++
+		}
+	}
+	st := n.Faults().Stats()
+	if st.Packets != msgs*pktsPer {
+		t.Fatalf("per-packet draws=%d, want %d", st.Packets, msgs*pktsPer)
+	}
+	// At 50% per packet essentially every 10-packet burst loses one.
+	if dropped < msgs*9/10 {
+		t.Fatalf("dropped bursts=%d of %d", dropped, msgs)
+	}
+}
+
+func TestTransmitDuplicatesAndSpikesCostTime(t *testing.T) {
+	mk := func(rule fault.LinkRule) *NetLink {
+		rule.Link = "l"
+		n := NewNetLink("l", 1e9, 0)
+		n.AttachFaults(fault.New(fault.Plan{Seed: 9, Links: []fault.LinkRule{rule}}))
+		return n
+	}
+	clean := NewNetLink("l", 1e9, 0)
+	base := clean.Transmit(0, 1000).Arrive
+
+	dup := mk(fault.LinkRule{Duplicate: 1.0})
+	if out := dup.Transmit(0, 1000); out.Duplicates != 1 || out.Arrive <= base {
+		t.Fatalf("duplicate outcome %+v, base %v", out, base)
+	}
+	spiky := mk(fault.LinkRule{DelaySpike: 1.0, Spike: 30 * sim.Microsecond})
+	if out := spiky.Transmit(0, 1000); out.Arrive < base+30*sim.Microsecond {
+		t.Fatalf("spike not applied: %v vs base %v", out.Arrive, base)
+	}
+}
+
+func TestSendSelfHealsPlanDrops(t *testing.T) {
+	n := NewNetLink("heal", 1e9, 0)
+	n.AttachFaults(fault.New(fault.Plan{Seed: 2, Links: []fault.LinkRule{
+		{Link: "heal", Drop: 0.4},
+	}}))
+	var worst sim.Time
+	for i := 0; i < 300; i++ {
+		at := sim.Time(i) * 100 * sim.Microsecond
+		lat := n.Send(at, 64) - at
+		if lat > worst {
+			worst = lat
+		}
+	}
+	if n.Lost() == 0 {
+		t.Fatal("no redeliveries at 40% drop")
+	}
+	if worst < 20*sim.Microsecond {
+		t.Fatalf("worst=%v, want >= one redelivery timeout", worst)
+	}
+}
+
+func TestAttachFaultsNoRuleKeepsNilFastPath(t *testing.T) {
+	n := NewNetLink("unlisted", 1e9, 0)
+	n.AttachFaults(fault.New(fault.Plan{Seed: 1, Links: []fault.LinkRule{
+		{Link: "other", Drop: 0.9},
+	}}))
+	if n.Faults() != nil {
+		t.Fatal("link without a rule must keep the nil injector")
+	}
+	clean := NewNetLink("unlisted", 1e9, 0)
+	if n.Send(0, 5000) != clean.Send(0, 5000) {
+		t.Fatal("unlisted link timing changed")
 	}
 }

@@ -1,0 +1,59 @@
+package kvs
+
+import (
+	"bytes"
+	"testing"
+
+	"rambda/internal/memspace"
+)
+
+// FuzzDecodeRequest hammers the request parser with arbitrary frames —
+// the bytes a faulty fabric could deliver. The parser must reject or
+// return a request whose fields round-trip; it must never panic, and an
+// accepted frame must survive Apply against a live store.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(Request{Op: OpGet, Key: []byte("k")}))
+	f.Add(EncodeRequest(Request{Op: OpPut, Key: []byte("key"), Val: []byte("value")}))
+	f.Add(EncodeRequest(Request{Op: OpDelete, Key: bytes.Repeat([]byte{7}, 300)}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpPut), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // huge claimed lengths
+	f.Add([]byte{99, 0, 0, 0, 0, 0, 0})                            // unknown opcode
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeRequest(b)
+		if err != nil {
+			return
+		}
+		switch r.Op {
+		case OpGet, OpPut, OpDelete:
+		default:
+			t.Fatalf("accepted unknown opcode %d", r.Op)
+		}
+		if re := EncodeRequest(r); !bytes.Equal(re, b[:len(re)]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, b[:len(re)])
+		}
+		// An accepted frame must execute without panicking, whatever the
+		// key/value shapes are.
+		s := New(memspace.New(), Config{Buckets: 16, PoolBytes: 1 << 16, Kind: memspace.KindDRAM})
+		resp, _ := Apply(s, r)
+		if resp.Status != StatusOK && resp.Status != StatusNotFound && resp.Status != StatusError {
+			t.Fatalf("invalid response status %d", resp.Status)
+		}
+	})
+}
+
+// FuzzDecodeResponse does the same for the response parser.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(Response{Status: StatusOK, Val: []byte("v")}))
+	f.Add(EncodeResponse(Response{Status: StatusNotFound}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(StatusOK), 0xFF, 0xFF, 0xFF, 0xFF}) // claims 4 GiB value
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeResponse(b)
+		if err != nil {
+			return
+		}
+		if re := EncodeResponse(r); !bytes.Equal(re, b[:len(re)]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}

@@ -82,6 +82,9 @@ type CQE struct {
 	// Len is the byte count of the completed operation (for RECV-side
 	// completions it is the received length).
 	Len int
+	// Status is CQEOK for successful completions; error completions
+	// (retry exhaustion, RNR exhaustion, flushes) carry the cause.
+	Status CQEStatus
 }
 
 // CQ is a completion queue: a ring in host memory that the NIC DMA-writes
@@ -232,18 +235,33 @@ type QP struct {
 	stats     QPStats
 	doorbells int64
 	acked     int64
+
+	// Reliable-connection transport state (rc.go): the QP state
+	// machine, per-QP packet sequence numbers, and retry tuning.
+	state   QPState
+	rc      RCConfig
+	sendPSN uint32 // next PSN this side transmits
+	recvPSN uint32 // next PSN this side expects (advanced by the peer)
 }
 
 type recvBuf struct {
 	addr memspace.Addr
 	len  int
 	wrid uint64
+	// availableAt is when the buffer becomes consumable; SENDs arriving
+	// earlier hit RNR (the ring slot exists but the host has not
+	// replenished it yet). Zero for PostRecv.
+	availableAt sim.Time
 }
 
 // QPStats counts traffic through a QP.
 type QPStats struct {
 	Writes, Reads, Sends, Atomics int64
 	BytesOut, BytesIn             int64
+	// Retransmits counts timeout-driven wire-leg retransmissions,
+	// Timeouts counts retry budgets exhausted, RNRNaks counts receiver-
+	// not-ready NAKs seen by this QP's sends.
+	Retransmits, Timeouts, RNRNaks int64
 }
 
 // NewQP creates a queue pair on the NIC with a fresh CQ.
@@ -289,6 +307,14 @@ func (q *QP) PostRecv(addr memspace.Addr, length int, wrid uint64) {
 	q.recvs = append(q.recvs, recvBuf{addr: addr, len: length, wrid: wrid})
 }
 
+// PostRecvAt posts a receive buffer that only becomes consumable at
+// `at` — the host replenishes the ring that late. A SEND arriving
+// before then draws an RNR NAK and retries, which is how a slow
+// receiver exercises the sender's RNR backoff deterministically.
+func (q *QP) PostRecvAt(addr memspace.Addr, length int, wrid uint64, at sim.Time) {
+	q.recvs = append(q.recvs, recvBuf{addr: addr, len: length, wrid: wrid, availableAt: at})
+}
+
 // OpResult reports the timing of one executed work request.
 type OpResult struct {
 	WRID uint64
@@ -299,6 +325,10 @@ type OpResult struct {
 	RemoteVisible sim.Time
 	// CQEAt is when the local CQE was written (zero for unsignaled).
 	CQEAt sim.Time
+	// Status is CQEOK when the operation succeeded; transport failures
+	// (retry/RNR exhaustion) and error-state flushes carry the cause,
+	// and their RemoteVisible is zero — the effect never happened.
+	Status CQEStatus
 }
 
 // Doorbell rings the NIC once (one MMIO write paid at `now` by the
@@ -336,6 +366,11 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 	if q.remote == nil {
 		panic("rnic: QP not connected")
 	}
+	if q.state == QPError {
+		// An errored QP executes nothing: every posted WQE flushes as
+		// an error CQE, in submission order.
+		return q.flushWQE(now, w)
+	}
 	res := OpResult{WRID: w.WRID, Op: w.Op}
 	_, t := n.proc.Acquire(now, 0)
 
@@ -343,7 +378,10 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 	case OpWrite:
 		buf := make([]byte, w.Len)
 		t = n.Host.DMARead(t, w.LocalAddr, buf)
-		t = n.tx.Send(t, w.Len+wqeWireOverhead)
+		var ok bool
+		if t, ok = q.sendReliable(n.tx, t, w.Len+wqeWireOverhead); !ok {
+			return q.failWQE(t, w, CQERetryExceeded)
+		}
 		rn := q.remote.nic
 		_, t = rn.proc.Acquire(t, 0)
 		t = rn.Host.DMAWrite(t, w.RemoteAddr, buf, rn.tphFor(w.RemoteAddr))
@@ -353,13 +391,20 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 
 	case OpRead:
 		// Request travels to the peer, the peer's NIC DMA-reads its
-		// host memory, and the response travels back.
-		t = n.tx.Send(t, wqeWireOverhead)
+		// host memory, and the response travels back. A lost response
+		// is replayed from the responder without re-reading host memory
+		// (the read response replay buffer).
+		var ok bool
+		if t, ok = q.sendReliable(n.tx, t, wqeWireOverhead); !ok {
+			return q.failWQE(t, w, CQERetryExceeded)
+		}
 		rn := q.remote.nic
 		_, t = rn.proc.Acquire(t, 0)
 		buf := make([]byte, w.Len)
 		t = rn.Host.DMARead(t, w.RemoteAddr, buf)
-		t = rn.tx.Send(t, w.Len+wqeWireOverhead)
+		if t, ok = q.sendReliable(rn.tx, t, w.Len+wqeWireOverhead); !ok {
+			return q.failWQE(t, w, CQERetryExceeded)
+		}
 		_, t = n.proc.Acquire(t, 0)
 		t = n.Host.DMAWrite(t, w.LocalAddr, buf, n.tphFor(w.LocalAddr))
 		res.RemoteVisible = t
@@ -368,17 +413,36 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 
 	case OpSend:
 		rq := q.remote
-		if len(rq.recvs) == 0 {
-			panic(fmt.Sprintf("rnic: SEND on QP %d with no posted receive (RNR)", q.ID))
+		buf := make([]byte, w.Len)
+		t = n.Host.DMARead(t, w.LocalAddr, buf)
+		// Deliver the message, then claim a receive buffer. When the
+		// remote ring is exhausted (or its head not yet replenished)
+		// the responder NAKs receiver-not-ready; the sender waits the
+		// RNR timer and retransmits, up to the RNR retry budget.
+		rnrAttempts := 0
+		var rb recvBuf
+		for {
+			var ok bool
+			if t, ok = q.sendReliable(n.tx, t, w.Len+wqeWireOverhead); !ok {
+				return q.failWQE(t, w, CQERetryExceeded)
+			}
+			if len(rq.recvs) > 0 && rq.recvs[0].availableAt <= t {
+				rb = rq.recvs[0]
+				rq.recvs = rq.recvs[1:]
+				break
+			}
+			if rnrAttempts >= q.rnrRetryLimit() {
+				return q.failWQE(t, w, CQERNRRetryExceeded)
+			}
+			rnrAttempts++
+			q.stats.RNRNaks++
+			// The NAK crosses back, the sender sits out the RNR timer,
+			// then the loop retransmits the message.
+			t = rq.nic.tx.Send(t, ackWireBytes) + q.rnrTimer()
 		}
-		rb := rq.recvs[0]
-		rq.recvs = rq.recvs[1:]
 		if w.Len > rb.len {
 			panic(fmt.Sprintf("rnic: SEND len %d exceeds receive buffer %d", w.Len, rb.len))
 		}
-		buf := make([]byte, w.Len)
-		t = n.Host.DMARead(t, w.LocalAddr, buf)
-		t = n.tx.Send(t, w.Len+wqeWireOverhead)
 		rn := rq.nic
 		_, t = rn.proc.Acquire(t, 0)
 		t = rn.Host.DMAWrite(t, rb.addr, buf, rn.tphFor(rb.addr))
@@ -393,8 +457,14 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		// NIC performs a locked read-modify-write on host memory, and
 		// the original 64-bit value returns. Atomics serialize at the
 		// responder NIC (single atomic unit), which is why they are the
-		// slowest one-sided verbs.
-		t = n.tx.Send(t, 8+wqeWireOverhead)
+		// slowest one-sided verbs. A lost response is replayed from the
+		// responder's atomic response buffer — the RMW itself is never
+		// re-executed (standard RC requirement for exactly-once
+		// atomics).
+		var ok bool
+		if t, ok = q.sendReliable(n.tx, t, 8+wqeWireOverhead); !ok {
+			return q.failWQE(t, w, CQERetryExceeded)
+		}
 		rn := q.remote.nic
 		_, t = rn.proc.Acquire(t, 0)
 		_, t = rn.atomicUnit.Acquire(t, 0)
@@ -410,7 +480,9 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		binary.LittleEndian.PutUint64(raw[:], next)
 		t = rn.Host.DMAWrite(t, w.RemoteAddr, raw[:], rn.tphFor(w.RemoteAddr))
 		// The original value travels back into the local result buffer.
-		t = rn.tx.Send(t, 8+wqeWireOverhead)
+		if t, ok = q.sendReliable(rn.tx, t, 8+wqeWireOverhead); !ok {
+			return q.failWQE(t, w, CQERetryExceeded)
+		}
 		_, t = n.proc.Acquire(t, 0)
 		binary.LittleEndian.PutUint64(raw[:], orig)
 		t = n.Host.DMAWrite(t, w.LocalAddr, raw[:], n.tphFor(w.LocalAddr))
@@ -426,10 +498,16 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		// the local CQ. Reliable-connection ACKs coalesce: only every
 		// ackCoalesce-th completion sends a standalone ACK packet; the
 		// rest piggyback on reverse traffic (standard RoCE behaviour).
+		// A lost standalone ACK makes the requester time out and probe;
+		// the responder answers from its ACK state without re-executing
+		// — modeled as a reliable reverse leg.
 		q.acked++
 		back := res.RemoteVisible
 		if q.acked%ackCoalesce == 0 {
-			back = q.remote.nic.tx.Send(back, ackWireBytes)
+			var ok bool
+			if back, ok = q.sendReliable(q.remote.nic.tx, back, ackWireBytes); !ok {
+				return q.failWQE(back, w, CQERetryExceeded)
+			}
 		}
 		cqeAt := n.Host.PCIe.DMA(back, cqeBytes)
 		q.cq.push(CQE{WRID: w.WRID, Op: w.Op, At: cqeAt, Len: w.Len})

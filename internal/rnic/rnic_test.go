@@ -137,15 +137,30 @@ func TestTwoSidedSendRecv(t *testing.T) {
 	}
 }
 
-func TestSendWithoutRecvPanics(t *testing.T) {
+func TestSendWithoutRecvRNRExhausts(t *testing.T) {
+	// A SEND with no posted receive draws RNR NAKs until the RNR retry
+	// budget runs out, then completes with an error CQE — even though
+	// the WQE was unsignaled (errors always complete) — and the QP lands
+	// in the error state.
 	a, _, qa, _ := newPair(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected RNR panic")
-		}
-	}()
-	qa.PostSend(WQE{Op: OpSend, LocalAddr: a.dram.Base, Len: 8})
-	qa.Doorbell(0)
+	qa.PostSend(WQE{Op: OpSend, LocalAddr: a.dram.Base, Len: 8, WRID: 11})
+	res := qa.Doorbell(0)
+	if len(res) != 1 || res[0].Status != CQERNRRetryExceeded {
+		t.Fatalf("results=%+v, want RNR_RETRY_EXC", res)
+	}
+	if res[0].RemoteVisible != 0 {
+		t.Fatal("failed SEND must not report a remote-visible time")
+	}
+	if qa.State() != QPError {
+		t.Fatal("QP must enter the error state after RNR exhaustion")
+	}
+	if got := qa.Stats().RNRNaks; got != int64(qa.rnrRetryLimit()) {
+		t.Fatalf("RNR NAKs=%d, want %d", got, qa.rnrRetryLimit())
+	}
+	cqes := qa.CQ().Poll(10)
+	if len(cqes) != 1 || cqes[0].WRID != 11 || cqes[0].Status != CQERNRRetryExceeded {
+		t.Fatalf("cqes=%+v, want one RNR error CQE", cqes)
+	}
 }
 
 func TestDoorbellBatchingAmortizesMMIO(t *testing.T) {

@@ -1,0 +1,228 @@
+package rpc
+
+import (
+	"errors"
+
+	"rambda/internal/sim"
+)
+
+// This file is the RPC reliability layer above the fabric: a client-side
+// timeout/retry wrapper and a server-side idempotent-execution guard.
+// Under fault injection a request (or its response) can vanish or arrive
+// twice; the client retransmits with the SAME request id, and the server
+// deduplicates by that id, answering replays from a bounded cache of
+// encoded responses so the handler executes at most once per request.
+
+// ErrTimeout reports that every attempt of a Call timed out or returned
+// garbage.
+var ErrTimeout = errors.New("rpc: request timed out after all retries")
+
+// Transport is one request/response exchange attempt over the fabric.
+// Implementations are simulation components (a QP pair, a chain head);
+// ok=false means the attempt produced no response (lost request, lost
+// response, crashed server) and `done` is when the transport gave up —
+// the client still waits out its own timer before retrying.
+type Transport interface {
+	Exchange(now sim.Time, req []byte) (resp []byte, done sim.Time, ok bool)
+}
+
+// ClientConfig tunes the retry wrapper. Zero fields take defaults.
+type ClientConfig struct {
+	// Timeout is the per-attempt response timer.
+	Timeout sim.Duration
+	// MaxAttempts bounds total attempts (first try + retries).
+	MaxAttempts int
+	// Backoff is the extra wait added before retry k, scaled by 2^(k-1)
+	// (exponential). Zero means retry right at the timeout.
+	Backoff sim.Duration
+}
+
+const (
+	defaultCallTimeout = 100 * sim.Microsecond
+	defaultMaxAttempts = 4
+	clientBackoffCap   = 6
+)
+
+// ClientStats counts the retry wrapper's work.
+type ClientStats struct {
+	Calls, Attempts, Retries int64
+	// Garbled counts responses that arrived but failed to decode or
+	// carried a stale request id.
+	Garbled int64
+	// Failures counts calls that exhausted every attempt.
+	Failures int64
+}
+
+// Client wraps a transport with timeout/retry and monotonic request ids.
+type Client struct {
+	cfg   ClientConfig
+	tr    Transport
+	next  uint32
+	stats ClientStats
+}
+
+// NewClient builds a retry client over the transport.
+func NewClient(tr Transport, cfg ClientConfig) *Client {
+	return &Client{cfg: cfg, tr: tr}
+}
+
+// Stats returns retry counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+func (c *Client) timeout() sim.Duration {
+	if c.cfg.Timeout > 0 {
+		return c.cfg.Timeout
+	}
+	return defaultCallTimeout
+}
+
+func (c *Client) maxAttempts() int {
+	if c.cfg.MaxAttempts > 0 {
+		return c.cfg.MaxAttempts
+	}
+	return defaultMaxAttempts
+}
+
+func (c *Client) backoff(attempt int) sim.Duration {
+	if c.cfg.Backoff <= 0 || attempt <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > clientBackoffCap {
+		shift = clientBackoffCap
+	}
+	return c.cfg.Backoff << uint(shift)
+}
+
+// Call issues one logical request: it frames the payload under a fresh
+// request id, then retries the SAME framed bytes (same id, so the server
+// can deduplicate) until a matching response arrives or the attempt
+// budget runs out. It returns the decoded response and the virtual time
+// the caller learned the outcome.
+func (c *Client) Call(now sim.Time, method uint8, payload []byte) (Message, sim.Time, error) {
+	c.next++
+	id := c.next
+	req, err := Encode(Message{ReqID: id, Method: method, Payload: payload})
+	if err != nil {
+		return Message{}, now, err
+	}
+	c.stats.Calls++
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+		}
+		c.stats.Attempts++
+		resp, done, ok := c.tr.Exchange(now, req)
+		if ok {
+			m, derr := Decode(resp)
+			if derr == nil && m.ReqID == id {
+				return m, done, nil
+			}
+			// A response arrived but it is not ours (corrupted frame or
+			// a stale replay): retry as soon as we saw it.
+			c.stats.Garbled++
+			now = done + c.backoff(attempt+1)
+			continue
+		}
+		// Nothing came back: the client's timer fires a full timeout
+		// after the attempt started.
+		now += sim.Time(c.timeout() + c.backoff(attempt+1))
+	}
+	c.stats.Failures++
+	return Message{}, now, ErrTimeout
+}
+
+// Dedup is the server-side idempotency guard: a bounded FIFO cache of
+// encoded responses keyed by request id. A retransmitted request hits
+// the cache and is answered without re-executing the handler.
+type Dedup struct {
+	capacity int
+	seen     map[uint32][]byte
+	order    []uint32
+}
+
+// DefaultDedupCapacity bounds the response cache when the caller passes
+// no capacity.
+const DefaultDedupCapacity = 1024
+
+// NewDedup builds the guard with the given capacity (<=0 takes the
+// default).
+func NewDedup(capacity int) *Dedup {
+	if capacity <= 0 {
+		capacity = DefaultDedupCapacity
+	}
+	return &Dedup{capacity: capacity, seen: make(map[uint32][]byte, capacity)}
+}
+
+// Lookup returns the cached response for a request id.
+func (d *Dedup) Lookup(id uint32) ([]byte, bool) {
+	resp, ok := d.seen[id]
+	return resp, ok
+}
+
+// Store caches a response, evicting the oldest entry when full.
+func (d *Dedup) Store(id uint32, resp []byte) {
+	if _, dup := d.seen[id]; dup {
+		return
+	}
+	if len(d.order) >= d.capacity {
+		delete(d.seen, d.order[0])
+		d.order = d.order[1:]
+	}
+	d.seen[id] = resp
+	d.order = append(d.order, id)
+}
+
+// Len reports cached responses.
+func (d *Dedup) Len() int { return len(d.seen) }
+
+// Handler executes one decoded request and produces the response
+// message (the server stamps the request id).
+type Handler func(m Message) Message
+
+// ServerStats counts the dedup wrapper's work.
+type ServerStats struct {
+	// Executed counts handler invocations; Duplicates counts replays
+	// answered from the cache; Malformed counts undecodable requests.
+	Executed, Duplicates, Malformed int64
+}
+
+// Server wraps an application handler with decode validation and
+// request-id deduplication.
+type Server struct {
+	h     Handler
+	dedup *Dedup
+	stats ServerStats
+}
+
+// NewServer builds the wrapper; dedupCapacity <= 0 takes the default.
+func NewServer(h Handler, dedupCapacity int) *Server {
+	return &Server{h: h, dedup: NewDedup(dedupCapacity)}
+}
+
+// Stats returns server counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Handle processes one framed request: malformed frames are rejected
+// with an error (never a panic), replayed ids are answered from the
+// cache, and fresh requests run the handler exactly once.
+func (s *Server) Handle(req []byte) ([]byte, error) {
+	m, err := Decode(req)
+	if err != nil {
+		s.stats.Malformed++
+		return nil, err
+	}
+	if resp, hit := s.dedup.Lookup(m.ReqID); hit {
+		s.stats.Duplicates++
+		return resp, nil
+	}
+	out := s.h(m)
+	out.ReqID = m.ReqID
+	buf, err := Encode(out)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Executed++
+	s.dedup.Store(m.ReqID, buf)
+	return buf, nil
+}

@@ -1,0 +1,211 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rambda/internal/sim"
+)
+
+// scriptedTransport drives the retry wrapper: each entry describes one
+// attempt's fate. A nil server means the attempt is lost; otherwise the
+// request is delivered to the server (possibly `deliveries` times, to
+// model duplication) and the response optionally dropped on the way
+// back.
+type scriptedTransport struct {
+	server       *Server
+	loseRequest  []bool // per attempt; missing entries deliver
+	loseResponse []bool
+	deliveries   int // copies of each delivered request (>=1)
+	attempts     int
+	rtt          sim.Duration
+}
+
+func (s *scriptedTransport) Exchange(now sim.Time, req []byte) ([]byte, sim.Time, bool) {
+	i := s.attempts
+	s.attempts++
+	done := now + sim.Time(s.rtt)
+	if i < len(s.loseRequest) && s.loseRequest[i] {
+		return nil, done, false
+	}
+	n := s.deliveries
+	if n < 1 {
+		n = 1
+	}
+	var resp []byte
+	var err error
+	for c := 0; c < n; c++ {
+		resp, err = s.server.Handle(req)
+	}
+	if err != nil {
+		return nil, done, false
+	}
+	if i < len(s.loseResponse) && s.loseResponse[i] {
+		return nil, done, false
+	}
+	return resp, done, true
+}
+
+func echoServer(executed *int) *Server {
+	return NewServer(func(m Message) Message {
+		*executed++
+		return Message{Method: m.Method, Payload: m.Payload}
+	}, 0)
+}
+
+func TestClientRetriesUntilSuccess(t *testing.T) {
+	var executed int
+	tr := &scriptedTransport{
+		server:      echoServer(&executed),
+		loseRequest: []bool{true, true, false},
+		rtt:         5 * sim.Microsecond,
+	}
+	c := NewClient(tr, ClientConfig{Timeout: 50 * sim.Microsecond, MaxAttempts: 4})
+	m, done, err := c.Call(0, 3, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Payload, []byte("hello")) || m.Method != 3 {
+		t.Fatalf("response %+v", m)
+	}
+	// Two timeouts elapsed before the successful attempt.
+	if done < 100*sim.Microsecond {
+		t.Fatalf("done=%v, must include two 50us timeouts", done)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if executed != 1 {
+		t.Fatalf("handler executed %d times", executed)
+	}
+}
+
+func TestClientExhaustsAndFails(t *testing.T) {
+	var executed int
+	tr := &scriptedTransport{
+		server:      echoServer(&executed),
+		loseRequest: []bool{true, true, true},
+		rtt:         sim.Microsecond,
+	}
+	c := NewClient(tr, ClientConfig{Timeout: 10 * sim.Microsecond, MaxAttempts: 3,
+		Backoff: 5 * sim.Microsecond})
+	_, done, err := c.Call(0, 1, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+	// 3 attempts x 10us timeout + backoff 5+10+20.
+	if want := sim.Time(65 * sim.Microsecond); done != want {
+		t.Fatalf("done=%v, want %v (timeouts plus exponential backoff)", done, want)
+	}
+	if st := c.Stats(); st.Failures != 1 || st.Attempts != 3 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if executed != 0 {
+		t.Fatal("handler must not run when every request is lost")
+	}
+}
+
+func TestLostResponseDoesNotReexecute(t *testing.T) {
+	// The request lands but the response vanishes: the retry carries the
+	// same request id, the server answers from the dedup cache, and the
+	// handler runs exactly once.
+	var executed int
+	tr := &scriptedTransport{
+		server:       echoServer(&executed),
+		loseResponse: []bool{true, false},
+		rtt:          sim.Microsecond,
+	}
+	c := NewClient(tr, ClientConfig{Timeout: 20 * sim.Microsecond, MaxAttempts: 4})
+	m, _, err := c.Call(0, 2, []byte("once"))
+	if err != nil || !bytes.Equal(m.Payload, []byte("once")) {
+		t.Fatalf("m=%+v err=%v", m, err)
+	}
+	if executed != 1 {
+		t.Fatalf("handler executed %d times, want 1 (idempotent replay)", executed)
+	}
+	st := tr.server.Stats()
+	if st.Executed != 1 || st.Duplicates != 1 {
+		t.Fatalf("server stats=%+v", st)
+	}
+}
+
+func TestDuplicatedDeliveryDedups(t *testing.T) {
+	// The fabric duplicates the request in flight: both copies reach the
+	// server, one executes, the other hits the cache with an identical
+	// response.
+	var executed int
+	srv := echoServer(&executed)
+	tr := &scriptedTransport{server: srv, deliveries: 2, rtt: sim.Microsecond}
+	c := NewClient(tr, ClientConfig{})
+	if _, _, err := c.Call(0, 1, []byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 1 {
+		t.Fatalf("handler executed %d times under duplication", executed)
+	}
+	if st := srv.Stats(); st.Duplicates != 1 {
+		t.Fatalf("server stats=%+v", st)
+	}
+}
+
+func TestDedupCacheBoundedFIFO(t *testing.T) {
+	d := NewDedup(3)
+	for id := uint32(1); id <= 5; id++ {
+		d.Store(id, []byte{byte(id)})
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len=%d, want capacity 3", d.Len())
+	}
+	if _, ok := d.Lookup(1); ok {
+		t.Fatal("oldest entry must be evicted")
+	}
+	if resp, ok := d.Lookup(5); !ok || resp[0] != 5 {
+		t.Fatal("newest entry missing")
+	}
+	// Re-storing an existing id must not duplicate the FIFO slot.
+	d.Store(5, []byte{99})
+	if resp, _ := d.Lookup(5); resp[0] != 5 {
+		t.Fatal("re-store must keep the first response (idempotency)")
+	}
+}
+
+func TestServerRejectsMalformedWithoutPanic(t *testing.T) {
+	var executed int
+	srv := echoServer(&executed)
+	if _, err := srv.Handle([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if srv.Stats().Malformed != 1 || executed != 0 {
+		t.Fatalf("stats=%+v executed=%d", srv.Stats(), executed)
+	}
+}
+
+func TestClientDistinctCallsGetDistinctIDs(t *testing.T) {
+	var executed int
+	tr := &scriptedTransport{server: echoServer(&executed), rtt: sim.Microsecond}
+	c := NewClient(tr, ClientConfig{})
+	now := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		_, done, err := c.Call(now, 1, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if executed != 5 {
+		t.Fatalf("executed=%d, want 5 — fresh calls must not dedup against each other", executed)
+	}
+}
+
+func TestClientOversizedPayloadSurfacesError(t *testing.T) {
+	tr := &scriptedTransport{server: echoServer(new(int))}
+	c := NewClient(tr, ClientConfig{})
+	if _, _, err := c.Call(0, 1, make([]byte, 1<<17)); err == nil {
+		t.Fatal("oversized payload must fail the call, not panic")
+	}
+	if tr.attempts != 0 {
+		t.Fatal("oversized payload must never reach the wire")
+	}
+}

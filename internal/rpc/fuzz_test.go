@@ -1,0 +1,62 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary frames to the header parser. Whatever the
+// fabric delivers — truncated, corrupted, duplicated fragments — Decode
+// must either reject with an error or return a message that re-encodes
+// to the bytes it claimed to parse.
+func FuzzDecode(f *testing.F) {
+	f.Add(MustEncode(Message{ReqID: 1, Method: 2, Status: 3, Payload: []byte("seed")}))
+	f.Add(MustEncode(Message{ReqID: 0xFFFFFFFF, Method: 0xFF, Status: 0, Payload: nil}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xFF, 0xFF}) // header claims 64 KiB payload
+	long := MustEncode(Message{ReqID: 9, Payload: bytes.Repeat([]byte{0xAB}, 300)})
+	f.Add(long[:len(long)-7]) // truncated mid-payload
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if len(m.Payload) > 0xFFFF {
+			t.Fatalf("decoded payload %d exceeds the wire limit", len(m.Payload))
+		}
+		re, eerr := Encode(m)
+		if eerr != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", eerr)
+		}
+		if !bytes.Equal(re, b[:HeaderBytes+len(m.Payload)]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, b[:HeaderBytes+len(m.Payload)])
+		}
+	})
+}
+
+// FuzzReader drives the field deserializer with arbitrary payloads and a
+// fixed read script; it must never panic or read out of bounds, and
+// post-error reads must be zero-valued.
+func FuzzReader(f *testing.F) {
+	w := &Writer{}
+	w.U32(7).U64(1 << 40).String("seed").Blob([]byte{1, 2, 3})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := NewReader(b)
+		r.U32()
+		r.U64()
+		_ = r.String()
+		r.Blob()
+		if r.Err() != nil {
+			if r.Blob() != nil || r.U64() != 0 {
+				t.Fatal("post-error reads must be zero-valued")
+			}
+		}
+		if r.Remaining() < 0 {
+			t.Fatal("reader overran the payload")
+		}
+	})
+}

@@ -24,10 +24,12 @@ type Message struct {
 	Payload []byte
 }
 
-// Encode frames a message.
-func Encode(m Message) []byte {
+// Encode frames a message. Payloads beyond the 16-bit length field are
+// a caller error reported as an error, not a panic — a malformed request
+// must degrade gracefully, not kill the server.
+func Encode(m Message) ([]byte, error) {
 	if len(m.Payload) > 0xFFFF {
-		panic(fmt.Sprintf("rpc: payload %d exceeds 64 KiB", len(m.Payload)))
+		return nil, fmt.Errorf("rpc: payload %d exceeds 64 KiB", len(m.Payload))
 	}
 	buf := make([]byte, HeaderBytes+len(m.Payload))
 	binary.LittleEndian.PutUint32(buf[0:4], m.ReqID)
@@ -35,6 +37,17 @@ func Encode(m Message) []byte {
 	buf[5] = m.Status
 	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(m.Payload)))
 	copy(buf[HeaderBytes:], m.Payload)
+	return buf, nil
+}
+
+// MustEncode frames a message whose payload the caller already bounded;
+// it panics on oversize and exists for tests and compile-time-sized
+// payloads.
+func MustEncode(m Message) []byte {
+	buf, err := Encode(m)
+	if err != nil {
+		panic(err)
+	}
 	return buf
 }
 

@@ -8,7 +8,7 @@ import (
 
 func TestMessageRoundTrip(t *testing.T) {
 	m := Message{ReqID: 7, Method: 3, Status: 1, Payload: []byte("payload")}
-	got, err := Decode(Encode(m))
+	got, err := Decode(MustEncode(m))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,19 +21,26 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := Decode([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short header accepted")
 	}
-	full := Encode(Message{ReqID: 1, Payload: []byte("abcdef")})
+	full := MustEncode(Message{ReqID: 1, Payload: []byte("abcdef")})
 	if _, err := Decode(full[:HeaderBytes+2]); err == nil {
 		t.Fatal("truncated payload accepted")
 	}
 }
 
-func TestEncodePanicsOnHugePayload(t *testing.T) {
+func TestEncodeRejectsHugePayload(t *testing.T) {
+	if _, err := Encode(Message{Payload: make([]byte, 1<<17)}); err == nil {
+		t.Fatal("oversized payload must return an error")
+	}
+	// The boundary itself is fine.
+	if _, err := Encode(Message{Payload: make([]byte, 0xFFFF)}); err != nil {
+		t.Fatalf("64 KiB-1 payload rejected: %v", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("MustEncode must panic where Encode errors")
 		}
 	}()
-	Encode(Message{Payload: make([]byte, 1<<17)})
+	MustEncode(Message{Payload: make([]byte, 1<<17)})
 }
 
 func TestMessageRoundTripProperty(t *testing.T) {
@@ -42,7 +49,7 @@ func TestMessageRoundTripProperty(t *testing.T) {
 			payload = payload[:0xFFFF]
 		}
 		m := Message{ReqID: id, Method: method, Status: status, Payload: payload}
-		got, err := Decode(Encode(m))
+		got, err := Decode(MustEncode(m))
 		return err == nil && got.ReqID == id && got.Method == method &&
 			got.Status == status && bytes.Equal(got.Payload, payload)
 	}
