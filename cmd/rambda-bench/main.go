@@ -5,16 +5,20 @@
 //
 // Usage:
 //
-//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_2.json
+//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_4.json
 //	go run ./cmd/rambda-bench -skip-figures          # microbenchmarks only
-//	go run ./cmd/rambda-bench -quick -baseline BENCH_2.json
+//	go run ./cmd/rambda-bench -quick -baseline BENCH_3.json
 //
-// With -baseline, each microbenchmark is compared against the baseline
-// file and the run fails (exit 1) if any regresses by more than
-// -max-regress (default 25%). Comparisons use machine-normalized
-// scores — ns/op divided by the RNGUint64 calibration kernel's ns/op —
-// so a baseline committed from one machine remains meaningful on CI
-// hardware of a different speed.
+// With -baseline, the run fails (exit 1) when anything regresses:
+//   - a microbenchmark's machine-normalized score (ns/op divided by the
+//     RNGUint64 calibration kernel's ns/op, so a baseline committed from
+//     one machine remains meaningful on CI hardware of a different
+//     speed) grows by more than -max-regress (default 25%);
+//   - a microbenchmark allocates more per op than the baseline (with a
+//     one-alloc slack) — steady-state-zero kernels must stay at zero;
+//   - a figure's heap allocation count grows by more than -max-regress
+//     (figures are deterministic, so alloc counts are too; only checked
+//     when both runs used the same -quick scale).
 //
 // JSON schema (BENCH_*.json):
 //
@@ -25,7 +29,7 @@
 //	  "figures": {"<id>": {
 //	      "wall_ns":        int,   // figure jobs + table render
 //	      "allocs":         int,   // heap allocations during the figure
-//	      "peak_rss_bytes": int    // process VmHWM after the figure (cumulative high-water)
+//	      "peak_rss_bytes": int    // per-figure VmHWM (high-water mark reset before each figure; cumulative where /proc is unavailable)
 //	  }},
 //	  "micro": {"<kernel>": {
 //	      "ns_per_op": float, "allocs_per_op": int, "bytes_per_op": int,
@@ -40,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"testing"
@@ -101,7 +106,7 @@ var microKernels = []struct {
 func main() {
 	quick := flag.Bool("quick", false, "run figures at quick scale (mirrors rambda-figures -quick)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for figure sweep points")
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
 	only := flag.String("only", "", "time a single figure id (e.g. fig7)")
 	skipFigures := flag.Bool("skip-figures", false, "skip figure timings, run only the sim microbenchmarks")
 	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json to compare microbenchmarks against")
@@ -155,6 +160,7 @@ func main() {
 			if *only != "" && !strings.EqualFold(*only, s.ID) {
 				continue
 			}
+			resetPeakRSS()
 			var ms0, ms1 runtime.MemStats
 			runtime.ReadMemStats(&ms0)
 			start := time.Now()
@@ -207,8 +213,9 @@ func nsPerOp(r testing.BenchmarkResult) float64 {
 	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
-// compareBaseline checks every microbenchmark present in both runs and
-// reports regressions beyond maxRegress on the normalized score.
+// compareBaseline checks every microbenchmark present in both runs
+// (normalized time and allocs/op) plus per-figure alloc counts, and
+// reports regressions beyond maxRegress.
 func compareBaseline(rep *report, path string, maxRegress float64) (failed bool) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -235,11 +242,34 @@ func compareBaseline(rep *report, path string, maxRegress float64) (failed bool)
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Fprintf(os.Stderr, "compare %-28s baseline %8.2f  now %8.2f  ratio %.2fx  %s\n",
-			name, b.Normalized, cur.Normalized, ratio, status)
+		// Alloc counts are deterministic per op; one alloc of slack
+		// absorbs testing.Benchmark's occasional warmup remainder.
+		if cur.AllocsPerOp > b.AllocsPerOp+1 {
+			status = "ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "compare %-28s baseline %8.2f (%d allocs)  now %8.2f (%d allocs)  ratio %.2fx  %s\n",
+			name, b.Normalized, b.AllocsPerOp, cur.Normalized, cur.AllocsPerOp, ratio, status)
+	}
+	// Figure alloc counts are only comparable at the same sweep scale.
+	if rep.Quick == base.Quick {
+		for id, cur := range rep.Figures {
+			b, ok := base.Figures[id]
+			if !ok || b.Allocs <= 0 {
+				continue
+			}
+			ratio := float64(cur.Allocs) / float64(b.Allocs)
+			status := "ok"
+			if ratio > 1+maxRegress {
+				status = "ALLOC REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(os.Stderr, "compare %-28s baseline %12d allocs  now %12d allocs  ratio %.2fx  %s\n",
+				id, b.Allocs, cur.Allocs, ratio, status)
+		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "FAIL: microbenchmark regression beyond %.0f%% vs %s\n", maxRegress*100, path)
+		fmt.Fprintf(os.Stderr, "FAIL: regression beyond %.0f%% vs %s\n", maxRegress*100, path)
 	}
 	return failed
 }
@@ -271,10 +301,20 @@ func embedSeed(rep *report, path string) {
 	}
 }
 
-// peakRSSBytes reads the process resident-set high-water mark (VmHWM).
-// Figures run in sequence, so per-figure values are cumulative: a later
-// figure's number only rises above an earlier one's if it set a new
-// process-wide peak. Returns 0 where /proc is unavailable.
+// resetPeakRSS makes the next peakRSSBytes reading per-figure: free
+// heap is returned to the OS, then the kernel's resident high-water
+// mark is cleared (/proc/self/clear_refs, value 5). Best-effort — where
+// clear_refs is unavailable the readings degrade to the old cumulative
+// behaviour.
+func resetPeakRSS() {
+	runtime.GC()
+	debug.FreeOSMemory()
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}
+
+// peakRSSBytes reads the process resident-set high-water mark (VmHWM),
+// reset before each figure by resetPeakRSS so the value reflects that
+// figure's working set. Returns 0 where /proc is unavailable.
 func peakRSSBytes() int64 {
 	data, err := os.ReadFile("/proc/self/status")
 	if err != nil {

@@ -34,6 +34,13 @@ type Node struct {
 	Store Backend
 	Log   *RedoLog
 	CC    *LockTable
+
+	// Per-node request-path scratch (each sweep point drives its chain
+	// from one goroutine): lock offsets, the encoded log entry, and a
+	// one-tuple slice header for the HyperLoop path.
+	offsets  []uint32
+	entryBuf []byte
+	one      [1]Tuple
 }
 
 // NewNode builds a replica inside the given space/memory system.
@@ -50,17 +57,19 @@ func NewNode(space *memspace.Space, mem *memdev.System, cfg NodeConfig,
 // applyTx runs the RAMBDA accelerator path at this node: concurrency
 // control, combined log append, then data writes.
 func (n *Node) applyTx(now sim.Time, writes []Tuple) (sim.Time, error) {
-	offsets := make([]uint32, len(writes))
-	for i, w := range writes {
-		offsets[i] = w.Offset
+	offsets := n.offsets[:0]
+	for _, w := range writes {
+		offsets = append(offsets, w.Offset)
 	}
+	n.offsets = offsets
 	if !n.CC.TryAcquire(offsets) {
 		return now, ErrConflict
 	}
 	defer n.CC.Release(offsets)
 
 	at := now + n.cfg.ProcDelay + sim.Duration(len(writes))*n.cfg.PerTupleDelay
-	at = n.Log.Append(at, EncodeEntry(writes))
+	n.entryBuf = AppendEntry(n.entryBuf[:0], writes)
+	at = n.Log.Append(at, n.entryBuf)
 	for _, w := range writes {
 		at = n.Store.Write(at, w.Offset, w.Data)
 	}
@@ -73,7 +82,9 @@ func (n *Node) applyTx(now sim.Time, writes []Tuple) (sim.Time, error) {
 // operation).
 func (n *Node) applyHyperLoop(now sim.Time, w Tuple) sim.Time {
 	at := now + n.cfg.ProcDelay
-	at = n.Log.Append(at, EncodeEntry([]Tuple{w}))
+	n.one[0] = w
+	n.entryBuf = AppendEntry(n.entryBuf[:0], n.one[:])
+	at = n.Log.Append(at, n.entryBuf)
 	return n.Store.Write(at, w.Offset, w.Data)
 }
 
@@ -134,7 +145,7 @@ const ackBytes = 32
 func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err error) {
 	reqBytes := ackBytes
 	if len(tx.Writes) > 0 {
-		reqBytes = len(EncodeEntry(tx.Writes))
+		reqBytes = EntryBytes(tx.Writes)
 	}
 	at := now + c.wire(reqBytes) + c.ClientOneWay
 	hi, at, err := c.headAt(at)
@@ -197,11 +208,11 @@ func (c *Chain) HyperLoopTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time) 
 		at += c.ClientOneWay + c.wire(r.Len) // data back
 	}
 	for _, w := range tx.Writes {
-		entry := EncodeEntry([]Tuple{w})
-		at += c.ClientOneWay + c.wire(len(entry))
+		entryLen := 1 + tupleHdr + len(w.Data)
+		at += c.ClientOneWay + c.wire(entryLen)
 		for i, node := range c.Nodes {
 			if i > 0 {
-				at += c.HopDelay + c.wire(len(entry))
+				at += c.HopDelay + c.wire(entryLen)
 			}
 			at = node.applyHyperLoop(at, w)
 		}

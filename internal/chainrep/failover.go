@@ -130,7 +130,8 @@ func (c *Chain) replicateFaulty(at sim.Time, writes []Tuple, reqBytes int) (sim.
 				// Write-ahead semantics: the entry may have reached the
 				// victim's NVM log before the data writes — leave the
 				// torn entry for replay to repair.
-				node.Log.Append(at, EncodeEntry(writes))
+				node.entryBuf = AppendEntry(node.entryBuf[:0], writes)
+				node.Log.Append(at, node.entryBuf)
 			}
 			continue
 		}
@@ -160,7 +161,8 @@ func (c *Chain) replicateFaulty(at sim.Time, writes []Tuple, reqBytes int) (sim.
 // already committed on the live chain).
 func (n *Node) applyCatchUp(now sim.Time, writes []Tuple) sim.Time {
 	at := now + n.cfg.ProcDelay + sim.Duration(len(writes))*n.cfg.PerTupleDelay
-	at = n.Log.Append(at, EncodeEntry(writes))
+	n.entryBuf = AppendEntry(n.entryBuf[:0], writes)
+	at = n.Log.Append(at, n.entryBuf)
 	for _, w := range writes {
 		at = n.Store.Write(at, w.Offset, w.Data)
 	}
@@ -187,8 +189,7 @@ func (c *Chain) Rejoin(now sim.Time, i int) (sim.Time, error) {
 		c.fstats.ReplayedTx += int64(n)
 	}
 	for _, writes := range c.history[c.applied[i]:] {
-		entry := EncodeEntry(writes)
-		at += c.HopDelay + c.wire(len(entry))
+		at += c.HopDelay + c.wire(EntryBytes(writes))
 		at = node.applyCatchUp(at, writes)
 		c.applied[i]++
 		c.fstats.CaughtUpTx++

@@ -30,6 +30,10 @@ type RedoLog struct {
 	entries   int
 	tail      int
 	appended  int64
+
+	// pad is Append's reusable zero-padded staging buffer (entrySize
+	// bytes; memspace.Write copies it out before Append returns).
+	pad []byte
 }
 
 // tupleHdr is [4B offset][2B len].
@@ -55,25 +59,38 @@ func NewRedoLog(space *memspace.Space, mem *memdev.System, entries, entrySize in
 // adaptive DDIO keeps NVM writes out of the cache).
 func (l *RedoLog) Range() memspace.Range { return l.region.Range }
 
-// EncodeEntry serializes tuples into log-entry format.
-func EncodeEntry(tuples []Tuple) []byte {
-	if len(tuples) == 0 || len(tuples) > 255 {
-		panic(fmt.Sprintf("chainrep: entry with %d tuples", len(tuples)))
-	}
+// EntryBytes returns the encoded size of a log entry holding exactly
+// these tuples — for wire-cost accounting without encoding.
+func EntryBytes(tuples []Tuple) int {
 	size := 1
 	for _, t := range tuples {
 		size += tupleHdr + len(t.Data)
 	}
-	buf := make([]byte, size)
-	buf[0] = byte(len(tuples))
-	off := 1
-	for _, t := range tuples {
-		binary.LittleEndian.PutUint32(buf[off:off+4], t.Offset)
-		binary.LittleEndian.PutUint16(buf[off+4:off+6], uint16(len(t.Data)))
-		copy(buf[off+tupleHdr:], t.Data)
-		off += tupleHdr + len(t.Data)
+	return size
+}
+
+// EncodeEntry serializes tuples into log-entry format in a fresh
+// buffer.
+func EncodeEntry(tuples []Tuple) []byte {
+	return AppendEntry(nil, tuples)
+}
+
+// AppendEntry serializes tuples onto dst and returns the extended
+// slice; reusing the returned buffer (re-sliced to [:0]) makes the
+// steady-state encode allocation-free.
+func AppendEntry(dst []byte, tuples []Tuple) []byte {
+	if len(tuples) == 0 || len(tuples) > 255 {
+		panic(fmt.Sprintf("chainrep: entry with %d tuples", len(tuples)))
 	}
-	return buf
+	dst = append(dst, byte(len(tuples)))
+	var hdr [tupleHdr]byte
+	for _, t := range tuples {
+		binary.LittleEndian.PutUint32(hdr[0:4], t.Offset)
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(t.Data)))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, t.Data...)
+	}
+	return dst
 }
 
 // DecodeEntry parses a log entry.
@@ -112,9 +129,15 @@ func (l *RedoLog) Append(now sim.Time, entry []byte) sim.Time {
 	}
 	addr := l.region.Base + memspace.Addr(l.tail*l.entrySize)
 	at := l.mem.NVM.WriteSequential(now, len(entry))
+	if cap(l.pad) < l.entrySize {
+		l.pad = make([]byte, l.entrySize)
+	}
+	padded := l.pad[:l.entrySize]
+	n := copy(padded, entry)
 	// Zero the remainder so stale bytes never decode.
-	padded := make([]byte, l.entrySize)
-	copy(padded, entry)
+	for i := n; i < len(padded); i++ {
+		padded[i] = 0
+	}
 	l.space.Write(addr, padded)
 	l.tail = (l.tail + 1) % l.entries
 	l.appended++

@@ -71,6 +71,10 @@ type Domain struct {
 
 	signals int64 // delivered invalidations
 	writes  int64
+
+	// deliveredTo is Write's reusable once-per-owner scratch (snoopers
+	// never re-enter Write; a write spans at most a few owners).
+	deliveredTo []AgentID
 }
 
 // NewDomain creates an empty coherence domain.
@@ -123,18 +127,22 @@ func (d *Domain) Write(writer AgentID, addr memspace.Addr, bytes int, at sim.Tim
 	}
 	first := lineAlign(addr)
 	last := lineAlign(addr + memspace.Addr(bytes) - 1)
-	var delivered map[AgentID]bool
+	d.deliveredTo = d.deliveredTo[:0]
 	for a := first; ; a += LineSize {
 		if st, ok := d.lines[a]; ok && st.valid && st.owner != writer {
 			st.valid = false
 			if fn := d.snoopers[st.owner]; fn != nil {
 				// One signal per (owner, write): hardware coalesces the
 				// per-line invalidations of a single bus transaction.
-				if delivered == nil {
-					delivered = make(map[AgentID]bool, 1)
+				already := false
+				for _, id := range d.deliveredTo {
+					if id == st.owner {
+						already = true
+						break
+					}
 				}
-				if !delivered[st.owner] {
-					delivered[st.owner] = true
+				if !already {
+					d.deliveredTo = append(d.deliveredTo, st.owner)
 					d.signals++
 					fn(Signal{Addr: a, Bytes: bytes, At: at, Writer: writer})
 				}

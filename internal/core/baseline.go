@@ -205,7 +205,7 @@ func (c *CPUClient) Call(now sim.Time, payload []byte) ([]byte, sim.Time) {
 	if _, ok := c.conn.PollResponse(); !ok {
 		panic("core: CPU response missing")
 	}
-	c.qp.CQ().Poll(4) // drain request completions
+	c.qp.CQ().Discard(4) // drain request completions
 	return resp, done
 }
 
@@ -220,5 +220,5 @@ func (c *CPUClient) ConnPoll() {
 	if _, ok := c.conn.PollResponse(); !ok {
 		panic("core: CPU response missing")
 	}
-	c.qp.CQ().Poll(4)
+	c.qp.CQ().Discard(4)
 }

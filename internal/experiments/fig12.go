@@ -74,27 +74,45 @@ func newFig12Chain(cfg Fig12Config, node chainrep.NodeConfig, valueBytes int) *c
 	return c
 }
 
-// fig12Tx builds one transaction of the given shape over random keys.
-func fig12Tx(rng *sim.RNG, pairs, reads, writes, valueBytes int) chainrep.Tx {
-	tx := chainrep.Tx{}
-	used := map[uint32]bool{}
+// fig12TxScratch builds transactions of one shape into reusable backing
+// (one per sweep point; the chain consumes a tx before the next build,
+// and the shared zero data buffer is never written by the chain).
+type fig12TxScratch struct {
+	tx   chainrep.Tx
+	used map[uint32]bool
+	data []byte
+}
+
+func newFig12TxScratch(valueBytes int) *fig12TxScratch {
+	return &fig12TxScratch{
+		used: make(map[uint32]bool, 8),
+		data: make([]byte, valueBytes),
+	}
+}
+
+// build draws one transaction of the given shape over distinct random
+// keys. The returned Tx aliases the scratch and is valid until the next
+// build.
+func (s *fig12TxScratch) build(rng *sim.RNG, pairs, reads, writes, valueBytes int) chainrep.Tx {
+	s.tx.Reads = s.tx.Reads[:0]
+	s.tx.Writes = s.tx.Writes[:0]
+	clear(s.used)
 	pick := func() uint32 {
 		for {
 			o := uint32(rng.Intn(pairs)) * uint32(valueBytes)
-			if !used[o] {
-				used[o] = true
+			if !s.used[o] {
+				s.used[o] = true
 				return o
 			}
 		}
 	}
 	for i := 0; i < reads; i++ {
-		tx.Reads = append(tx.Reads, chainrep.ReadOp{Offset: pick(), Len: valueBytes})
+		s.tx.Reads = append(s.tx.Reads, chainrep.ReadOp{Offset: pick(), Len: valueBytes})
 	}
-	data := make([]byte, valueBytes)
 	for i := 0; i < writes; i++ {
-		tx.Writes = append(tx.Writes, chainrep.Tuple{Offset: pick(), Data: data})
+		s.tx.Writes = append(s.tx.Writes, chainrep.Tuple{Offset: pick(), Data: s.data})
 	}
-	return tx
+	return s.tx
 }
 
 // fig12Point runs one (value size, shape, system) cell: a fresh chain
@@ -106,11 +124,12 @@ func fig12Point(cfg Fig12Config, node chainrep.NodeConfig, sysName string, reads
 	rng := sim.NewRNG(cfg.Seed)
 	jrng := sim.NewRNG(cfg.Seed + 1)
 	hist := sim.NewHistogram(0)
+	scratch := newFig12TxScratch(valueBytes)
 	now := sim.Time(0)
 	for i := 0; i < cfg.Transactions; i++ {
 		// ARM routing wanders between 2 and 3 us (Sec. VI-C).
 		chain.HopDelay = 2*sim.Microsecond + sim.Duration(jrng.Intn(1000))*sim.Nanosecond
-		tx := fig12Tx(rng, cfg.Pairs, reads, writes, valueBytes)
+		tx := scratch.build(rng, cfg.Pairs, reads, writes, valueBytes)
 		var done sim.Time
 		if sysName == "RAMBDA" {
 			_, d, err := chain.RambdaTx(now, tx)

@@ -42,7 +42,35 @@ func DefaultKVSConfig() KVSConfig {
 	}
 }
 
-func kvsKey(i int) []byte { return []byte(fmt.Sprintf("user%014d", i)) }
+func kvsKey(i int) []byte { return appendKVSKey(nil, i) }
+
+// appendKVSKey appends key i ("user" + 14-digit zero-padded decimal,
+// the paper's 18 B keys) onto dst — the allocation-free formatter the
+// hot request loops use with a reusable buffer.
+func appendKVSKey(dst []byte, i int) []byte {
+	dst = append(dst, "user"...)
+	var digits [14]byte
+	for p := len(digits) - 1; p >= 0; p-- {
+		digits[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(dst, digits[:]...)
+}
+
+// kvsZeroSlab backs the KVS handlers' functional writes: the model
+// writes zero bytes over each traced write address (the store already
+// placed the real item bytes; the handler's write charge only needs
+// *some* data to move). Sharing one read-only slab keeps the steady
+// state allocation-free — memspace.Write copies from it and nothing
+// may ever write into it.
+var kvsZeroSlab [4096]byte
+
+func zeros(n int) []byte {
+	if n <= len(kvsZeroSlab) {
+		return kvsZeroSlab[:n]
+	}
+	return make([]byte, n)
+}
 
 // kvsWorkload generates the request stream: uniform or Zipf-skewed key
 // choice, GET-only or 50/50 GET/PUT.
@@ -53,6 +81,9 @@ type kvsWorkload struct {
 	skewed  bool
 	writes  bool
 	valBase []byte
+	// keyBuf backs the generated request's key; each next() overwrites
+	// it, so a request is only valid until the following next().
+	keyBuf []byte
 }
 
 func newKVSWorkload(cfg KVSConfig, skewed, writes bool) *kvsWorkload {
@@ -74,11 +105,12 @@ func (w *kvsWorkload) next() kvs.Request {
 	} else {
 		k = w.rng.Intn(w.cfg.Keys)
 	}
+	w.keyBuf = appendKVSKey(w.keyBuf[:0], k)
 	if w.writes && w.rng.Intn(2) == 0 {
 		binary.LittleEndian.PutUint64(w.valBase, uint64(k))
-		return kvs.Request{Op: kvs.OpPut, Key: kvsKey(k), Val: w.valBase}
+		return kvs.Request{Op: kvs.OpPut, Key: w.keyBuf, Val: w.valBase}
 	}
-	return kvs.Request{Op: kvs.OpGet, Key: kvsKey(k)}
+	return kvs.Request{Op: kvs.OpGet, Key: w.keyBuf}
 }
 
 // preload fills a store with the experiment's pairs.
@@ -89,11 +121,16 @@ func preloadStore(space *memspace.Space, kind memspace.Kind, cfg KVSConfig) *kvs
 		Kind:      kind,
 	})
 	val := make([]byte, cfg.ValueBytes)
+	var key []byte
+	var trace []kvs.Access
 	for i := 0; i < cfg.Keys; i++ {
 		binary.LittleEndian.PutUint64(val, uint64(i))
-		if _, err := store.Put(kvsKey(i), val); err != nil {
+		key = appendKVSKey(key[:0], i)
+		t, err := store.PutInto(trace[:0], key, val)
+		if err != nil {
 			panic(err)
 		}
+		trace = t
 	}
 	return store
 }
@@ -107,6 +144,13 @@ const kvsAPUCycles = 6
 type rambdaKVS struct {
 	clients []*core.Client
 	n       int
+
+	// Per-system request-path scratch (each sweep point drives its
+	// system from one goroutine): the store's value/trace scratch plus
+	// reusable encode buffers for the wire request and response.
+	sc      kvs.Scratch
+	reqBuf  []byte
+	respBuf []byte
 }
 
 func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKVS {
@@ -115,6 +159,7 @@ func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKV
 	core.ConnectMachines(sm, cm)
 	kind := sm.DataKind()
 	store := preloadStore(sm.Space, kind, cfg)
+	r := &rambdaKVS{n: cfg.Connections}
 
 	app := core.AppFunc(func(ctx *core.AppCtx, now sim.Time, reqBytes []byte) ([]byte, sim.Time) {
 		req, err := kvs.DecodeRequest(reqBytes)
@@ -122,15 +167,16 @@ func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKV
 			panic(err)
 		}
 		t := ctx.Compute(now, kvsAPUCycles)
-		resp, trace := kvs.Apply(store, req)
+		resp, trace := kvs.ApplyScratch(store, req, &r.sc)
 		for _, a := range trace {
 			if a.Write {
-				t = ctx.Write(t, a.Addr, make([]byte, a.Bytes))
+				t = ctx.Write(t, a.Addr, zeros(a.Bytes))
 			} else {
 				t = ctx.Read(t, a.Addr, a.Bytes)
 			}
 		}
-		return kvs.EncodeResponse(resp), t
+		r.respBuf = kvs.AppendResponse(r.respBuf[:0], resp)
+		return r.respBuf, t
 	})
 
 	opts := core.DefaultServerOptions()
@@ -139,7 +185,6 @@ func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKV
 	opts.EntryBytes = 128
 	opts.ResponseBatch = batch
 	s := core.NewServer(sm, app, opts)
-	r := &rambdaKVS{n: cfg.Connections}
 	for i := 0; i < cfg.Connections; i++ {
 		r.clients = append(r.clients, core.ConnectClient(cm, s, i))
 	}
@@ -148,7 +193,8 @@ func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKV
 
 // callOn routes to a specific connection.
 func (r *rambdaKVS) callOn(id int, now sim.Time, req kvs.Request) (kvs.Response, sim.Time) {
-	respB, done := r.clients[id%r.n].Call(now, kvs.EncodeRequest(req))
+	r.reqBuf = kvs.AppendRequest(r.reqBuf[:0], req)
+	respB, done := r.clients[id%r.n].Call(now, r.reqBuf)
 	resp, err := kvs.DecodeResponse(respB)
 	if err != nil {
 		panic(err)
@@ -165,6 +211,11 @@ const cpuKVSCycles = 900
 type cpuKVS struct {
 	clients []*core.CPUClient
 	n       int
+
+	// Per-system request-path scratch, same discipline as rambdaKVS.
+	sc      kvs.Scratch
+	reqBuf  []byte
+	respBuf []byte
 }
 
 func newCPUKVS(cfg KVSConfig, batch int, jitter bool) *cpuKVS {
@@ -172,18 +223,20 @@ func newCPUKVS(cfg KVSConfig, batch int, jitter bool) *cpuKVS {
 	cm := core.NewMachine(core.MachineConfig{Name: "cli"})
 	core.ConnectMachines(sm, cm)
 	store := preloadStore(sm.Space, memspace.KindDRAM, cfg)
+	c := &cpuKVS{n: cfg.Connections}
 
 	h := core.CPUHandler(func(reqBytes []byte) ([]byte, hostcpu.Work) {
 		req, err := kvs.DecodeRequest(reqBytes)
 		if err != nil {
 			panic(err)
 		}
-		resp, trace := kvs.Apply(store, req)
+		resp, trace := kvs.ApplyScratch(store, req, &c.sc)
 		addr := store.IndexRange().Base
 		if len(trace) > 0 {
 			addr = trace[0].Addr
 		}
-		return kvs.EncodeResponse(resp), hostcpu.Work{
+		c.respBuf = kvs.AppendResponse(c.respBuf[:0], resp)
+		return c.respBuf, hostcpu.Work{
 			Cycles:      cpuKVSCycles,
 			Accesses:    len(trace),
 			AccessBytes: 64,
@@ -201,7 +254,6 @@ func newCPUKVS(cfg KVSConfig, batch int, jitter bool) *cpuKVS {
 		opts.JitterSeed = cfg.Seed
 	}
 	s := core.NewCPUServer(sm, h, opts)
-	c := &cpuKVS{n: cfg.Connections}
 	for i := 0; i < cfg.Connections; i++ {
 		c.clients = append(c.clients, core.ConnectCPUClient(cm, s, i))
 	}
@@ -209,7 +261,8 @@ func newCPUKVS(cfg KVSConfig, batch int, jitter bool) *cpuKVS {
 }
 
 func (c *cpuKVS) callOn(id int, now sim.Time, req kvs.Request) (kvs.Response, sim.Time) {
-	respB, done := c.clients[id%c.n].Call(now, kvs.EncodeRequest(req))
+	c.reqBuf = kvs.AppendRequest(c.reqBuf[:0], req)
+	respB, done := c.clients[id%c.n].Call(now, c.reqBuf)
 	resp, err := kvs.DecodeResponse(respB)
 	if err != nil {
 		panic(err)
@@ -227,6 +280,10 @@ type snicKVS struct {
 	cache *smartnic.LRUCache
 	store *kvs.Store
 	net   sim.Duration // client<->NIC one-way
+
+	// sc is the store's per-system value/trace scratch; cache inserts
+	// must NOT alias it (they copy), since it is overwritten per request.
+	sc kvs.Scratch
 }
 
 // snicARMCycles is the per-request ARM processing, calibrated so eight
@@ -252,13 +309,19 @@ func newSNICKVS(cfg KVSConfig) *snicKVS {
 	// Warm the cache with the hottest keys (the generator's Zipf ranks
 	// low indices hottest), standing in for a long-running server whose
 	// cache reached steady state.
+	var key []byte
+	var trace []kvs.Access
 	for i := 0; i < cfg.Keys; i++ {
-		v, _, ok := store.Get(kvsKey(i))
+		key = appendKVSKey(key[:0], i)
+		// Fresh value allocation per iteration (dst nil): the cache
+		// retains it. Only the trace scratch is reused.
+		v, t, ok := store.GetInto(nil, trace[:0], key)
+		trace = t
 		if !ok {
 			panic("snic prewarm: missing key")
 		}
 		before := s.cache.Len()
-		s.cache.Put(string(kvsKey(i)), v)
+		s.cache.Put(string(key), v)
 		if s.cache.Len() == before {
 			break // capacity reached
 		}
@@ -276,32 +339,32 @@ func (s *snicKVS) callOn(_ int, now sim.Time, req kvs.Request) (kvs.Response, si
 	// core is blocked for the whole walk (the mechanism behind Fig. 1
 	// and the SmartNIC's distribution sensitivity in Fig. 8).
 	t := arrive + sim.Duration(float64(snicARMCycles)/s.snic.Config().ClockHz*float64(sim.Second))
-	key := string(req.Key)
 	var resp kvs.Response
 	switch req.Op {
 	case kvs.OpGet:
-		if v, ok := s.cache.Get(key); ok {
+		if v, ok := s.cache.GetBytes(req.Key); ok {
 			for i := 0; i < 3; i++ {
 				t = s.snic.LocalAccess(t, 64)
 			}
 			resp = kvs.Response{Status: kvs.StatusOK, Val: v}
 		} else {
-			r, trace := kvs.Apply(s.store, req)
+			r, trace := kvs.ApplyScratch(s.store, req, &s.sc)
 			for range trace {
 				t = s.snic.HostAccess(t, 64, 1)
 			}
 			resp = r
 			if r.Status == kvs.StatusOK {
-				s.cache.Put(key, r.Val)
+				// The cache retains the value: copy it out of the scratch.
+				s.cache.Put(string(req.Key), append([]byte(nil), r.Val...))
 			}
 		}
 	case kvs.OpPut:
 		// Writes go to the host copy; the cached entry is refreshed.
-		r, trace := kvs.Apply(s.store, req)
+		r, trace := kvs.ApplyScratch(s.store, req, &s.sc)
 		for range trace {
 			t = s.snic.HostAccess(t, 64, 1)
 		}
-		s.cache.Put(key, append([]byte(nil), req.Val...))
+		s.cache.Put(string(req.Key), append([]byte(nil), req.Val...))
 		resp = r
 	default:
 		resp = kvs.Response{Status: kvs.StatusError}

@@ -106,11 +106,17 @@ func tagOf(h uint64) uint16 {
 
 const chainTag = 0xFFFF
 
+// zeroBucket is the shared zero-fill source for freshly chained
+// buckets; memspace.Write copies from it, so sharing is safe.
+var zeroBucket [bucketBytes]byte
+
 // slot helpers: a slot is [2B tag][6B item address].
 func (s *Store) readSlot(bkt memspace.Addr, i int) (uint16, memspace.Addr) {
 	raw := s.space.Slice(bkt+memspace.Addr(i*slotBytes), slotBytes)
 	tag := binary.LittleEndian.Uint16(raw[0:2])
-	addr := memspace.Addr(binary.LittleEndian.Uint64(append(append([]byte{}, raw[2:8]...), 0, 0)))
+	var a [8]byte
+	copy(a[:6], raw[2:8])
+	addr := memspace.Addr(binary.LittleEndian.Uint64(a[:]))
 	return tag, addr
 }
 
@@ -142,8 +148,18 @@ func (s *Store) readItem(addr memspace.Addr) (key, val []byte) {
 
 func itemBytes(key, val []byte) int { return itemHdrBytes + len(key) + len(val) }
 
-// Get looks up key and returns the value plus the access trace.
+// Get looks up key and returns the value (freshly allocated) plus the
+// access trace. Hot loops should use GetInto with reusable buffers.
 func (s *Store) Get(key []byte) (val []byte, trace []Access, ok bool) {
+	return s.GetInto(nil, nil, key)
+}
+
+// GetInto looks up key, appending the value bytes to dst and the
+// memory accesses to trace. Both returned slices retain their grown
+// capacity, so passing back dst[:0]/trace[:0] from the previous call
+// makes the steady state allocation-free. On a miss the returned value
+// slice is dst unextended.
+func (s *Store) GetInto(dst []byte, trace []Access, key []byte) ([]byte, []Access, bool) {
 	s.gets++
 	h := hashKey(key)
 	tag := tagOf(h)
@@ -161,14 +177,12 @@ func (s *Store) Get(key []byte) (val []byte, trace []Access, ok bool) {
 				continue // tag collision
 			}
 			trace = append(trace, Access{Addr: addr + memspace.Addr(itemHdrBytes+len(k)), Bytes: len(v)})
-			out := make([]byte, len(v))
-			copy(out, v)
-			return out, trace, true
+			return append(dst, v...), trace, true
 		}
 		ct, next := s.readSlot(bkt, slotsPerBkt)
 		if ct != chainTag {
 			s.misses++
-			return nil, trace, false
+			return dst, trace, false
 		}
 		bkt = next
 	}
@@ -178,11 +192,16 @@ func (s *Store) Get(key []byte) (val []byte, trace []Access, ok bool) {
 // chain is searched for the key before inserting so a key never appears
 // twice.
 func (s *Store) Put(key, val []byte) ([]Access, error) {
+	return s.PutInto(nil, key, val)
+}
+
+// PutInto is Put appending accesses to a caller-provided trace
+// (capacity retained across calls).
+func (s *Store) PutInto(trace []Access, key, val []byte) ([]Access, error) {
 	s.puts++
 	h := hashKey(key)
 	tag := tagOf(h)
 	bkt := s.bucketAddr(h)
-	var trace []Access
 
 	var freeBkt memspace.Addr
 	freeSlot := -1
@@ -241,8 +260,7 @@ func (s *Store) Put(key, val []byte) ([]Access, error) {
 		if err != nil {
 			return trace, fmt.Errorf("kvs: chain allocation failed: %w", err)
 		}
-		zero := make([]byte, bucketBytes)
-		s.space.Write(nb, zero)
+		s.space.Write(nb, zeroBucket[:])
 		s.writeSlot(lastBkt, slotsPerBkt, chainTag, nb)
 		trace = append(trace, Access{Addr: lastBkt, Bytes: slotBytes, Write: true})
 		s.chained++
@@ -262,11 +280,16 @@ func (s *Store) Put(key, val []byte) ([]Access, error) {
 
 // Delete removes key, returning whether it was present.
 func (s *Store) Delete(key []byte) ([]Access, bool) {
+	return s.DeleteInto(nil, key)
+}
+
+// DeleteInto is Delete appending accesses to a caller-provided trace
+// (capacity retained across calls).
+func (s *Store) DeleteInto(trace []Access, key []byte) ([]Access, bool) {
 	s.deletes++
 	h := hashKey(key)
 	tag := tagOf(h)
 	bkt := s.bucketAddr(h)
-	var trace []Access
 	for {
 		trace = append(trace, Access{Addr: bkt, Bytes: bucketBytes})
 		for i := 0; i < slotsPerBkt; i++ {

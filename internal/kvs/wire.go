@@ -38,15 +38,23 @@ type Request struct {
 	Val []byte // PUT only
 }
 
-// EncodeRequest serializes a request: [1B op][2B keyLen][4B valLen][key][val].
+// AppendRequest serializes a request onto dst and returns the extended
+// slice: [1B op][2B keyLen][4B valLen][key][val]. Passing a buffer with
+// retained capacity (dst[:0] of the previous call's result) makes the
+// steady-state encode allocation-free.
+func AppendRequest(dst []byte, r Request) []byte {
+	var hdr [7]byte
+	hdr[0] = byte(r.Op)
+	binary.LittleEndian.PutUint16(hdr[1:3], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[3:7], uint32(len(r.Val)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Key...)
+	return append(dst, r.Val...)
+}
+
+// EncodeRequest serializes a request into a fresh buffer.
 func EncodeRequest(r Request) []byte {
-	buf := make([]byte, 7+len(r.Key)+len(r.Val))
-	buf[0] = byte(r.Op)
-	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(r.Key)))
-	binary.LittleEndian.PutUint32(buf[3:7], uint32(len(r.Val)))
-	copy(buf[7:], r.Key)
-	copy(buf[7+len(r.Key):], r.Val)
-	return buf
+	return AppendRequest(make([]byte, 0, 7+len(r.Key)+len(r.Val)), r)
 }
 
 // DecodeRequest parses a request.
@@ -74,13 +82,19 @@ type Response struct {
 	Val    []byte
 }
 
-// EncodeResponse serializes a response: [1B status][4B valLen][val].
+// AppendResponse serializes a response onto dst and returns the
+// extended slice: [1B status][4B valLen][val].
+func AppendResponse(dst []byte, r Response) []byte {
+	var hdr [5]byte
+	hdr[0] = byte(r.Status)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(r.Val)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Val...)
+}
+
+// EncodeResponse serializes a response into a fresh buffer.
 func EncodeResponse(r Response) []byte {
-	buf := make([]byte, 5+len(r.Val))
-	buf[0] = byte(r.Status)
-	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(r.Val)))
-	copy(buf[5:], r.Val)
-	return buf
+	return AppendResponse(make([]byte, 0, 5+len(r.Val)), r)
 }
 
 // DecodeResponse parses a response.
@@ -96,7 +110,8 @@ func DecodeResponse(b []byte) (Response, error) {
 }
 
 // Apply executes a decoded request against a store, returning the
-// response and the access trace for timing.
+// response and the access trace for timing. Every call allocates fresh
+// value and trace buffers; hot loops should use ApplyScratch.
 func Apply(s *Store, r Request) (Response, []Access) {
 	switch r.Op {
 	case OpGet:
@@ -113,6 +128,51 @@ func Apply(s *Store, r Request) (Response, []Access) {
 		return Response{Status: StatusOK}, trace
 	case OpDelete:
 		trace, ok := s.Delete(r.Key)
+		if !ok {
+			return Response{Status: StatusNotFound}, trace
+		}
+		return Response{Status: StatusOK}, trace
+	default:
+		return Response{Status: StatusError}, nil
+	}
+}
+
+// Scratch is one worker's reusable buffer set for the request path:
+// the value destination for GETs and the access-trace backing array.
+// Both grow to the workload's high-water mark once and are then reused
+// by every subsequent ApplyScratch/GetInto call, making the steady
+// state allocation-free.
+//
+// Aliasing: the Response.Val and trace returned by ApplyScratch point
+// into the scratch and are only valid until the next call that reuses
+// it. Callers that retain a value (caches, history logs) must copy.
+type Scratch struct {
+	Val   []byte
+	Trace []Access
+}
+
+// ApplyScratch is Apply with caller-owned buffers: the GET value is
+// appended into sc.Val and the trace into sc.Trace (both re-sliced to
+// zero length first, capacity retained).
+func ApplyScratch(s *Store, r Request, sc *Scratch) (Response, []Access) {
+	switch r.Op {
+	case OpGet:
+		val, trace, ok := s.GetInto(sc.Val[:0], sc.Trace[:0], r.Key)
+		sc.Val, sc.Trace = val, trace
+		if !ok {
+			return Response{Status: StatusNotFound}, trace
+		}
+		return Response{Status: StatusOK, Val: val}, trace
+	case OpPut:
+		trace, err := s.PutInto(sc.Trace[:0], r.Key, r.Val)
+		sc.Trace = trace
+		if err != nil {
+			return Response{Status: StatusError}, trace
+		}
+		return Response{Status: StatusOK}, trace
+	case OpDelete:
+		trace, ok := s.DeleteInto(sc.Trace[:0], r.Key)
+		sc.Trace = trace
 		if !ok {
 			return Response{Status: StatusNotFound}, trace
 		}

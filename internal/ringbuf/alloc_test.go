@@ -1,0 +1,37 @@
+package ringbuf
+
+import (
+	"testing"
+)
+
+// Steady-state allocation guard for the connection request/response
+// cycle: framing into the connection's scratch entry buffer, consuming
+// via ReadEntryAppend, and responding must all reuse their backing
+// once warm.
+
+func TestConnCycleZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are distorted under the race detector")
+	}
+	client, server, _, _ := newConnPair(t, 8, false)
+	req := []byte("get user00000000000001")
+	resp := []byte("value-bytes-0123456789012345678901234567890123")
+	cycle := func() {
+		at := client.Send(0, req)
+		payload, idx, ok := server.NextRequest()
+		if !ok || len(payload) != len(req) {
+			panic("lost request")
+		}
+		server.Complete(idx)
+		server.Respond(at, resp)
+		if _, ok := client.PollResponse(); !ok {
+			panic("lost response")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		cycle() // warm the per-connection scratch buffers
+	}
+	if n := testing.AllocsPerRun(200, cycle); n != 0 {
+		t.Fatalf("conn cycle: %.2f allocs/op in steady state, want 0", n)
+	}
+}

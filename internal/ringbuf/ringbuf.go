@@ -63,16 +63,23 @@ func (l Layout) EntryAddr(i int) memspace.Addr {
 // MaxPayload is the largest message an entry can carry.
 func (l Layout) MaxPayload() int { return l.EntrySize - HeaderBytes }
 
-// Encode frames a payload into entry wire format.
+// Encode frames a payload into entry wire format in a fresh buffer.
 func (l Layout) Encode(payload []byte) []byte {
+	return l.AppendEncode(nil, payload)
+}
+
+// AppendEncode frames a payload onto dst and returns the extended
+// slice; reusing the returned buffer (re-sliced to [:0]) makes
+// steady-state framing allocation-free.
+func (l Layout) AppendEncode(dst, payload []byte) []byte {
 	if len(payload) > l.MaxPayload() {
 		panic(fmt.Sprintf("ringbuf: payload %d exceeds max %d", len(payload), l.MaxPayload()))
 	}
-	e := make([]byte, HeaderBytes+len(payload))
-	e[0] = 1
-	binary.LittleEndian.PutUint32(e[1:5], uint32(len(payload)))
-	copy(e[HeaderBytes:], payload)
-	return e
+	var hdr [HeaderBytes]byte
+	hdr[0] = 1
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // Ring is the owner-side accessor for a ring living in local memory.
@@ -86,8 +93,16 @@ func NewRing(space *memspace.Space, l Layout) *Ring {
 	return &Ring{Layout: l, space: space}
 }
 
-// ReadEntry returns the payload at index i if the entry is valid.
+// ReadEntry returns the payload at index i (freshly allocated) if the
+// entry is valid.
 func (r *Ring) ReadEntry(i int) ([]byte, bool) {
+	return r.ReadEntryAppend(nil, i)
+}
+
+// ReadEntryAppend appends the payload at index i onto dst, returning
+// the extended slice. Reusing the returned buffer across polls makes
+// the steady-state consume path allocation-free.
+func (r *Ring) ReadEntryAppend(dst []byte, i int) ([]byte, bool) {
 	addr := r.EntryAddr(i)
 	hdr := r.space.Slice(addr, HeaderBytes)
 	if hdr[0] == 0 {
@@ -97,9 +112,7 @@ func (r *Ring) ReadEntry(i int) ([]byte, bool) {
 	if n > r.MaxPayload() {
 		panic(fmt.Sprintf("ringbuf: corrupt entry %d length %d", i, n))
 	}
-	payload := make([]byte, n)
-	copy(payload, r.space.Slice(addr+HeaderBytes, n))
-	return payload, true
+	return append(dst, r.space.Slice(addr+HeaderBytes, n)...), true
 }
 
 // ResetEntry clears entry i's valid byte (paper: the consumer "reset[s]
@@ -175,6 +188,12 @@ type Conn struct {
 	outstanding int
 
 	sent, received int64
+
+	// Reusable framing/consume buffers: entryBuf backs Send's framed
+	// entry (the Transport copies it into the destination space before
+	// returning), respBuf backs the payload PollResponse returns — that
+	// slice is only valid until the next PollResponse on this Conn.
+	entryBuf, respBuf []byte
 }
 
 // NewConn builds a client connection. ptrAddr is the server-side
@@ -204,7 +223,8 @@ func (c *Conn) Send(now sim.Time, payload []byte) sim.Time {
 		// the interleaved pointer bytes.
 		panic("ringbuf: payload too large for pointer-buffer mode")
 	}
-	entry := c.Req.Encode(payload)
+	c.entryBuf = c.Req.AppendEncode(c.entryBuf[:0], payload)
+	entry := c.entryBuf
 	addr := c.Req.EntryAddr(c.tail)
 	var pa memspace.Addr
 	if c.ptrAddr != 0 {
@@ -219,12 +239,15 @@ func (c *Conn) Send(now sim.Time, payload []byte) sim.Time {
 }
 
 // PollResponse consumes the next response if present, resetting the
-// entry and returning a credit.
+// entry and returning a credit. The returned payload reuses the
+// connection's scratch buffer and is only valid until the next
+// PollResponse; callers that retain it must copy.
 func (c *Conn) PollResponse() ([]byte, bool) {
-	payload, ok := c.Resp.ReadEntry(c.head)
+	payload, ok := c.Resp.ReadEntryAppend(c.respBuf[:0], c.head)
 	if !ok {
 		return nil, false
 	}
+	c.respBuf = payload
 	c.Resp.ResetEntry(c.head)
 	c.head = (c.head + 1) % c.Resp.NumEntries
 	c.outstanding--
@@ -249,6 +272,11 @@ type ServerConn struct {
 	respTail int
 
 	served int64
+
+	// Reusable buffers: reqBuf backs NextRequest's payload (valid until
+	// the next NextRequest on this connection), entryBuf backs Respond's
+	// framed entry (copied out by the Transport before it returns).
+	reqBuf, entryBuf []byte
 }
 
 // NewServerConn builds the server side of a connection.
@@ -257,9 +285,14 @@ func NewServerConn(req *Ring, resp Layout, t Transport) *ServerConn {
 }
 
 // NextRequest returns the next pending request payload without
-// consuming it. idx identifies the entry for Complete.
+// consuming it. idx identifies the entry for Complete. The payload
+// reuses the connection's scratch buffer and is only valid until the
+// next NextRequest; callers that retain it must copy.
 func (s *ServerConn) NextRequest() (payload []byte, idx int, ok bool) {
-	payload, ok = s.Req.ReadEntry(s.head)
+	payload, ok = s.Req.ReadEntryAppend(s.reqBuf[:0], s.head)
+	if ok {
+		s.reqBuf = payload
+	}
 	return payload, s.head, ok
 }
 
@@ -278,7 +311,8 @@ func (s *ServerConn) Complete(idx int) {
 // Respond writes a response into the client's response ring, returning
 // its visibility time at the client.
 func (s *ServerConn) Respond(now sim.Time, payload []byte) sim.Time {
-	entry := s.Resp.Encode(payload)
+	s.entryBuf = s.Resp.AppendEncode(s.entryBuf[:0], payload)
+	entry := s.entryBuf
 	addr := s.Resp.EntryAddr(s.respTail)
 	done := s.t.Deliver(now, addr, entry, 0, 0)
 	s.respTail = (s.respTail + 1) % s.Resp.NumEntries

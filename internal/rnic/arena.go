@@ -1,0 +1,60 @@
+package rnic
+
+// payloadArena is the NIC's staging-buffer pool for in-flight payload
+// bytes (the model's stand-in for the device's internal packet
+// buffers). Buffers come out of size classes, are handed to exactly
+// one in-flight operation, and return to the pool when the modeled DMA
+// engine has landed the data (the buffer's last read). Oversized
+// requests fall back to plain make and are dropped on release instead
+// of pooled, so the arena's footprint stays bounded by maxPooled ×
+// live classes.
+//
+// Each NIC owns one arena and every sweep point runs its machines on a
+// single goroutine, so the arena needs no locking.
+type payloadArena struct {
+	classes [len(arenaClasses)][][]byte
+}
+
+// arenaClasses are the pooled buffer capacities. The top class covers
+// the largest payload the figures move (64 KiB values); anything
+// bigger is allocated directly.
+var arenaClasses = [...]int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+// maxPooled caps free buffers kept per class.
+const maxPooled = 64
+
+func arenaClassFor(n int) int {
+	for i, c := range arenaClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// get returns a length-n buffer. Pooled buffers may hold stale bytes
+// from a previous operation; every call site overwrites the full
+// buffer (DMARead fills it) before any read, so no clearing is needed.
+func (a *payloadArena) get(n int) []byte {
+	ci := arenaClassFor(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	free := a.classes[ci]
+	if len(free) == 0 {
+		return make([]byte, n, arenaClasses[ci])
+	}
+	buf := free[len(free)-1]
+	a.classes[ci] = free[:len(free)-1]
+	return buf[:n]
+}
+
+// put returns a buffer to its class. Oversized (non-pooled) buffers
+// and overflow beyond maxPooled are dropped for the GC.
+func (a *payloadArena) put(buf []byte) {
+	ci := arenaClassFor(cap(buf))
+	if ci < 0 || cap(buf) != arenaClasses[ci] || len(a.classes[ci]) >= maxPooled {
+		return
+	}
+	a.classes[ci] = append(a.classes[ci], buf)
+}

@@ -88,27 +88,51 @@ type CQE struct {
 }
 
 // CQ is a completion queue: a ring in host memory that the NIC DMA-writes
-// and the host polls.
+// and the host polls. Consumed entries are tracked by a head index so
+// the backing array is reused once the queue drains (steady-state
+// push/poll cycles allocate nothing).
 type CQ struct {
 	entries []CQE
+	head    int
 }
 
 // Poll removes and returns up to max completions.
 func (c *CQ) Poll(max int) []CQE {
-	if max <= 0 || len(c.entries) == 0 {
+	if max <= 0 || c.Len() == 0 {
 		return nil
 	}
-	if max > len(c.entries) {
-		max = len(c.entries)
+	if max > c.Len() {
+		max = c.Len()
 	}
 	out := make([]CQE, max)
-	copy(out, c.entries[:max])
-	c.entries = c.entries[max:]
+	copy(out, c.entries[c.head:c.head+max])
+	c.advance(max)
 	return out
 }
 
+// Discard consumes up to max completions without copying them out —
+// the polling loop of a caller that only needs the completion event,
+// not its payload. Returns the number consumed.
+func (c *CQ) Discard(max int) int {
+	if max > c.Len() {
+		max = c.Len()
+	}
+	if max > 0 {
+		c.advance(max)
+	}
+	return max
+}
+
 // Len reports queued completions.
-func (c *CQ) Len() int { return len(c.entries) }
+func (c *CQ) Len() int { return len(c.entries) - c.head }
+
+func (c *CQ) advance(n int) {
+	c.head += n
+	if c.head == len(c.entries) {
+		c.entries = c.entries[:0]
+		c.head = 0
+	}
+}
 
 func (c *CQ) push(e CQE) { c.entries = append(c.entries, e) }
 
@@ -169,6 +193,10 @@ type NIC struct {
 	peer *NIC
 
 	mrs []MR
+
+	// arena pools payload staging buffers for this NIC's operations
+	// (requester-side WRITE/SEND staging and responder-side READ data).
+	arena payloadArena
 
 	qpCounter int
 }
@@ -235,6 +263,11 @@ type QP struct {
 	stats     QPStats
 	doorbells int64
 	acked     int64
+
+	// results is the reusable OpResult backing for Doorbell /
+	// ExecutePosted; the returned slice is valid until the next drain of
+	// this QP.
+	results []OpResult
 
 	// Reliable-connection transport state (rc.go): the QP state
 	// machine, per-QP packet sequence numbers, and retry tuning.
@@ -349,16 +382,18 @@ func (q *QP) Doorbell(now sim.Time) []OpResult {
 // elsewhere (e.g. the accelerator's SQ handler amortizing one MMIO over
 // a batch of responses). The RNIC may also "execute the WQE promptly
 // before the doorbell is rung" (paper Sec. VI-B), which this models.
+// The returned slice reuses per-QP backing storage and is only valid
+// until the next Doorbell/ExecutePosted on this QP.
 func (q *QP) ExecutePosted(now sim.Time) []OpResult {
 	if len(q.sq) == 0 {
 		return nil
 	}
-	results := make([]OpResult, 0, len(q.sq))
+	q.results = q.results[:0]
 	for _, w := range q.sq {
-		results = append(results, q.execute(now, w))
+		q.results = append(q.results, q.execute(now, w))
 	}
 	q.sq = q.sq[:0]
-	return results
+	return q.results
 }
 
 func (q *QP) execute(now sim.Time, w WQE) OpResult {
@@ -376,15 +411,17 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 
 	switch w.Op {
 	case OpWrite:
-		buf := make([]byte, w.Len)
+		buf := n.arena.get(w.Len)
 		t = n.Host.DMARead(t, w.LocalAddr, buf)
 		var ok bool
 		if t, ok = q.sendReliable(n.tx, t, w.Len+wqeWireOverhead); !ok {
+			n.arena.put(buf)
 			return q.failWQE(t, w, CQERetryExceeded)
 		}
 		rn := q.remote.nic
 		_, t = rn.proc.Acquire(t, 0)
 		t = rn.Host.DMAWrite(t, w.RemoteAddr, buf, rn.tphFor(w.RemoteAddr))
+		n.arena.put(buf)
 		res.RemoteVisible = t
 		q.stats.Writes++
 		q.stats.BytesOut += int64(w.Len)
@@ -400,20 +437,22 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		}
 		rn := q.remote.nic
 		_, t = rn.proc.Acquire(t, 0)
-		buf := make([]byte, w.Len)
+		buf := rn.arena.get(w.Len)
 		t = rn.Host.DMARead(t, w.RemoteAddr, buf)
 		if t, ok = q.sendReliable(rn.tx, t, w.Len+wqeWireOverhead); !ok {
+			rn.arena.put(buf)
 			return q.failWQE(t, w, CQERetryExceeded)
 		}
 		_, t = n.proc.Acquire(t, 0)
 		t = n.Host.DMAWrite(t, w.LocalAddr, buf, n.tphFor(w.LocalAddr))
+		rn.arena.put(buf)
 		res.RemoteVisible = t
 		q.stats.Reads++
 		q.stats.BytesIn += int64(w.Len)
 
 	case OpSend:
 		rq := q.remote
-		buf := make([]byte, w.Len)
+		buf := n.arena.get(w.Len)
 		t = n.Host.DMARead(t, w.LocalAddr, buf)
 		// Deliver the message, then claim a receive buffer. When the
 		// remote ring is exhausted (or its head not yet replenished)
@@ -424,6 +463,7 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		for {
 			var ok bool
 			if t, ok = q.sendReliable(n.tx, t, w.Len+wqeWireOverhead); !ok {
+				n.arena.put(buf)
 				return q.failWQE(t, w, CQERetryExceeded)
 			}
 			if len(rq.recvs) > 0 && rq.recvs[0].availableAt <= t {
@@ -432,6 +472,7 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 				break
 			}
 			if rnrAttempts >= q.rnrRetryLimit() {
+				n.arena.put(buf)
 				return q.failWQE(t, w, CQERNRRetryExceeded)
 			}
 			rnrAttempts++
@@ -446,6 +487,7 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		rn := rq.nic
 		_, t = rn.proc.Acquire(t, 0)
 		t = rn.Host.DMAWrite(t, rb.addr, buf, rn.tphFor(rb.addr))
+		n.arena.put(buf)
 		// Receive-side completion.
 		rq.cq.push(CQE{WRID: rb.wrid, Op: OpSend, At: t, Len: w.Len})
 		res.RemoteVisible = t

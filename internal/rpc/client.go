@@ -59,6 +59,11 @@ type Client struct {
 	tr    Transport
 	next  uint32
 	stats ClientStats
+
+	// reqBuf backs the framed request across a Call's attempts; reused
+	// between Calls (transports copy the bytes into rings/staging before
+	// Exchange returns, so nothing aliases it afterwards).
+	reqBuf []byte
 }
 
 // NewClient builds a retry client over the transport.
@@ -102,10 +107,11 @@ func (c *Client) backoff(attempt int) sim.Duration {
 func (c *Client) Call(now sim.Time, method uint8, payload []byte) (Message, sim.Time, error) {
 	c.next++
 	id := c.next
-	req, err := Encode(Message{ReqID: id, Method: method, Payload: payload})
+	req, err := AppendEncode(c.reqBuf[:0], Message{ReqID: id, Method: method, Payload: payload})
 	if err != nil {
 		return Message{}, now, err
 	}
+	c.reqBuf = req
 	c.stats.Calls++
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if attempt > 0 {

@@ -24,20 +24,33 @@ type Message struct {
 	Payload []byte
 }
 
-// Encode frames a message. Payloads beyond the 16-bit length field are
-// a caller error reported as an error, not a panic — a malformed request
-// must degrade gracefully, not kill the server.
+// Encode frames a message into a fresh buffer. Payloads beyond the
+// 16-bit length field are a caller error reported as an error, not a
+// panic — a malformed request must degrade gracefully, not kill the
+// server.
 func Encode(m Message) ([]byte, error) {
-	if len(m.Payload) > 0xFFFF {
-		return nil, fmt.Errorf("rpc: payload %d exceeds 64 KiB", len(m.Payload))
+	buf, err := AppendEncode(make([]byte, 0, HeaderBytes+len(m.Payload)), m)
+	if err != nil {
+		return nil, err
 	}
-	buf := make([]byte, HeaderBytes+len(m.Payload))
-	binary.LittleEndian.PutUint32(buf[0:4], m.ReqID)
-	buf[4] = m.Method
-	buf[5] = m.Status
-	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(m.Payload)))
-	copy(buf[HeaderBytes:], m.Payload)
 	return buf, nil
+}
+
+// AppendEncode frames a message onto dst and returns the extended
+// slice; reusing the returned buffer (re-sliced to [:0]) makes
+// steady-state encoding allocation-free. On error dst is returned
+// unextended.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	if len(m.Payload) > 0xFFFF {
+		return dst, fmt.Errorf("rpc: payload %d exceeds 64 KiB", len(m.Payload))
+	}
+	var hdr [HeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], m.ReqID)
+	hdr[4] = m.Method
+	hdr[5] = m.Status
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(m.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, m.Payload...), nil
 }
 
 // MustEncode frames a message whose payload the caller already bounded;
@@ -83,6 +96,13 @@ type Writer struct {
 // Bytes returns the serialized payload.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer for reuse, retaining the grown backing
+// array so a per-worker Writer serializes without allocating.
+func (w *Writer) Reset() *Writer {
+	w.buf = w.buf[:0]
+	return w
+}
+
 // U32 and U64 append fixed-width integers.
 func (w *Writer) U32(v uint32) *Writer {
 	var b [4]byte
@@ -123,6 +143,13 @@ type Reader struct {
 
 // NewReader wraps a payload.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset points an existing Reader at a new payload, clearing its state
+// — the reusable counterpart of NewReader.
+func (r *Reader) Reset(b []byte) *Reader {
+	r.buf, r.off, r.err = b, 0, nil
+	return r
+}
 
 // Err returns the first decoding error encountered.
 func (r *Reader) Err() error { return r.err }

@@ -164,6 +164,20 @@ func (c *LRUCache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// GetBytes is Get keyed by a byte slice: the map lookup's string
+// conversion is the compiler-recognized non-allocating pattern, so
+// steady-state lookups stay allocation-free while inserts (which must
+// materialize an owned string key) still go through Put.
+func (c *LRUCache) GetBytes(key []byte) ([]byte, bool) {
+	if el, ok := c.byKey[string(key)]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
 // Put inserts or refreshes a value, evicting LRU entries to fit.
 func (c *LRUCache) Put(key string, val []byte) {
 	size := entrySize(key, val)
