@@ -29,12 +29,14 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos")
+	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos, breakdown")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	traceOut := flag.String("trace-out", "", "write the breakdown experiment's spans as Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write the breakdown experiment's metrics registry as JSON to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -79,7 +81,7 @@ func main() {
 
 	runner.SetDefault(*parallel)
 
-	specs := experiments.StandardSpecs(*quick)
+	specs := experiments.StandardSpecsObs(*quick, *traceOut, *metricsOut)
 
 	var selected []experiments.Spec
 	for _, s := range specs {

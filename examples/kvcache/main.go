@@ -35,8 +35,10 @@ func buildStore(m *rambda.Machine) *kvs.Store {
 		PoolBytes: keys * 192,
 		Kind:      m.DataKind(),
 	})
+	var trace []kvs.Access // reused across the preload loop
 	for i := 0; i < keys; i++ {
-		if _, err := store.Put(key(i), []byte(fmt.Sprintf("value-of-%d", i))); err != nil {
+		var err error
+		if trace, err = store.PutInto(trace[:0], key(i), []byte(fmt.Sprintf("value-of-%d", i))); err != nil {
 			panic(err)
 		}
 	}
@@ -60,21 +62,34 @@ func runRambda() *rambda.Result {
 	rambda.Connect(server, client)
 	store := buildStore(server)
 
+	// Per-server request-path scratch: the store's value/trace buffers,
+	// the response encode buffer, and a zero slab for modelled writes.
+	// The server handles one request at a time, so reuse is safe; the
+	// returned frame is consumed by the transport before the next call.
+	var (
+		sc      kvs.Scratch
+		respBuf []byte
+		zeros   []byte
+	)
 	app := rambda.AppFunc(func(ctx *rambda.AppCtx, now rambda.Time, reqB []byte) ([]byte, rambda.Time) {
 		req, err := kvs.DecodeRequest(reqB)
 		if err != nil {
 			panic(err)
 		}
-		resp, trace := kvs.Apply(store, req)
+		resp, trace := kvs.ApplyScratch(store, req, &sc)
 		t := ctx.Compute(now, 6) // hash unit
 		for _, a := range trace {
 			if a.Write {
-				t = ctx.Write(t, a.Addr, make([]byte, a.Bytes))
+				if a.Bytes > len(zeros) {
+					zeros = make([]byte, a.Bytes)
+				}
+				t = ctx.Write(t, a.Addr, zeros[:a.Bytes])
 			} else {
 				t = ctx.Read(t, a.Addr, a.Bytes)
 			}
 		}
-		return kvs.EncodeResponse(resp), t
+		respBuf = kvs.AppendResponse(respBuf[:0], resp)
+		return respBuf, t
 	})
 	opts := rambda.DefaultServerOptions()
 	opts.Connections = connections
@@ -85,11 +100,13 @@ func runRambda() *rambda.Result {
 	}
 
 	next := workload(42)
+	var reqBuf []byte // reused: Call consumes the frame before returning
 	return rambda.ClosedLoop{
 		Clients: connections * window, PerClient: requests / (connections * window),
 		Warmup: 2, Stagger: 40 * rambda.Nanosecond,
 	}.Run(func(id int, issue rambda.Time) rambda.Time {
-		_, done := conns[id%connections].Call(issue, kvs.EncodeRequest(next()))
+		reqBuf = kvs.AppendRequest(reqBuf[:0], next())
+		_, done := conns[id%connections].Call(issue, reqBuf)
 		return done
 	})
 }
@@ -100,13 +117,19 @@ func runCPU() *rambda.Result {
 	rambda.Connect(server, client)
 	store := buildStore(server)
 
+	// Same per-server scratch discipline as the RAMBDA path.
+	var (
+		sc      kvs.Scratch
+		respBuf []byte
+	)
 	h := rambda.CPUHandler(func(reqB []byte) ([]byte, hostcpu.Work) {
 		req, err := kvs.DecodeRequest(reqB)
 		if err != nil {
 			panic(err)
 		}
-		resp, trace := kvs.Apply(store, req)
-		return kvs.EncodeResponse(resp), hostcpu.Work{
+		resp, trace := kvs.ApplyScratch(store, req, &sc)
+		respBuf = kvs.AppendResponse(respBuf[:0], resp)
+		return respBuf, hostcpu.Work{
 			Cycles: 900, Accesses: len(trace), AccessBytes: 64,
 			Addr: store.IndexRange().Base,
 		}
@@ -120,11 +143,13 @@ func runCPU() *rambda.Result {
 	}
 
 	next := workload(42)
+	var reqBuf []byte // reused: Call consumes the frame before returning
 	return rambda.ClosedLoop{
 		Clients: connections * window, PerClient: requests / (connections * window),
 		Warmup: 2, Stagger: 40 * rambda.Nanosecond,
 	}.Run(func(id int, issue rambda.Time) rambda.Time {
-		_, done := conns[id%connections].Call(issue, kvs.EncodeRequest(next()))
+		reqBuf = kvs.AppendRequest(reqBuf[:0], next())
+		_, done := conns[id%connections].Call(issue, reqBuf)
 		return done
 	})
 }

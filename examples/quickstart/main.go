@@ -41,9 +41,13 @@ func main() {
 	})
 
 	// 4. A server with 4 client rings, pointer-buffer cpoll, and one
-	//    remote connection.
+	//    remote connection. A Tracer attached through the options records
+	//    every pipeline stage each request passes through, in virtual
+	//    time (leave it nil to skip tracing entirely).
 	opts := rambda.DefaultServerOptions()
 	opts.Connections = 4
+	tracer := rambda.NewTracer()
+	opts.Trace = tracer
 	srv := rambda.NewServer(server, app, opts)
 	conn := rambda.Dial(client, srv, 0)
 
@@ -57,4 +61,15 @@ func main() {
 	}
 	fmt.Printf("served %d requests through cpoll (%d coherence signals)\n",
 		srv.Served(), srv.Checker().Signals())
+
+	// 6. Export the recorded spans as Chrome trace_event JSON — load the
+	//    file in chrome://tracing or https://ui.perfetto.dev to see each
+	//    request's NIC/wire/ring/notify/compute timeline.
+	const traceFile = "quickstart-trace.json"
+	if err := rambda.WriteChromeTraceFile(traceFile, []rambda.TraceExport{
+		{Name: "quickstart", Trace: tracer, PID: 1},
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %d spans to %s\n", tracer.Len(), traceFile)
 }

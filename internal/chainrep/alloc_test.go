@@ -1,0 +1,66 @@
+package chainrep
+
+import (
+	"testing"
+
+	"rambda/internal/sim"
+)
+
+// Steady-state allocation guard for the transaction path: once a
+// TxScratch has grown to the workload's high-water mark, the paper's
+// representative (4 reads, 2 writes) transaction must not allocate —
+// reads land in the scratch's reused buffers and writes reuse each
+// node's offset/log-entry scratch. This extends the kvs/rnic/ringbuf
+// guards to the chain replication layer.
+func TestRambdaTxScratchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are distorted under the race detector")
+	}
+	c := newChain(3)
+	payload := []byte("sixty-four-byte-write-payload-for-the-steady-state-alloc-guard!!")
+	tx := Tx{
+		Reads: []ReadOp{{Offset: 0, Len: 64}, {Offset: 128, Len: 64},
+			{Offset: 256, Len: 64}, {Offset: 384, Len: 64}},
+		Writes: []Tuple{{Offset: 512, Data: payload}, {Offset: 640, Data: payload}},
+	}
+	sc := &TxScratch{}
+	now := sim.Time(0)
+	steady := func() {
+		_, done, err := c.RambdaTxInto(now, tx, sc)
+		if err != nil {
+			panic(err)
+		}
+		now = done
+	}
+	for i := 0; i < 8; i++ { // grow sc and per-node scratch, warm the log
+		steady()
+	}
+	if n := testing.AllocsPerRun(200, steady); n != 0 {
+		t.Fatalf("RambdaTxInto: %.2f allocs/op in steady state, want 0", n)
+	}
+}
+
+// The HyperLoop comparison path shares the same scratch discipline.
+func TestHyperLoopTxScratchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are distorted under the race detector")
+	}
+	c := newChain(3)
+	payload := []byte("sixty-four-byte-write-payload-for-the-steady-state-alloc-guard!!")
+	tx := Tx{
+		Reads:  []ReadOp{{Offset: 0, Len: 64}, {Offset: 128, Len: 64}},
+		Writes: []Tuple{{Offset: 512, Data: payload}},
+	}
+	sc := &TxScratch{}
+	now := sim.Time(0)
+	steady := func() {
+		_, done := c.HyperLoopTxInto(now, tx, sc)
+		now = done
+	}
+	for i := 0; i < 8; i++ {
+		steady()
+	}
+	if n := testing.AllocsPerRun(200, steady); n != 0 {
+		t.Fatalf("HyperLoopTxInto: %.2f allocs/op in steady state, want 0", n)
+	}
+}

@@ -16,7 +16,15 @@ import (
 // on ("we adopt RocksDB ... to use the emulated NVM as a persistent
 // storage medium", Sec. VI-C).
 type Backend interface {
+	// ReadInto appends n bytes at offset to dst (which may be nil) and
+	// returns the grown slice, charging storage time. This is the
+	// primary read form: callers that pass a reused buffer read without
+	// allocating once its capacity has grown to the working size.
+	ReadInto(dst []byte, now sim.Time, offset uint32, n int) ([]byte, sim.Time)
 	// Read returns n bytes at offset, charging storage time.
+	//
+	// Deprecated: use ReadInto with a reused buffer; Read allocates a
+	// fresh slice per call.
 	Read(now sim.Time, offset uint32, n int) ([]byte, sim.Time)
 	// Write persists data at offset, charging storage time.
 	Write(now sim.Time, offset uint32, data []byte) sim.Time
@@ -40,19 +48,28 @@ func NewLSMBackend(space *memspace.Space, mem *memdev.System, cfg lsm.Config) *L
 
 func lsmKey(offset uint32) string { return fmt.Sprintf("off-%08x", offset) }
 
-// Read implements Backend. Missing offsets read as zeroes (matching the
-// flat store's freshly allocated data area).
-func (b *LSMBackend) Read(now sim.Time, offset uint32, n int) ([]byte, sim.Time) {
+// ReadInto implements Backend. Missing offsets read as zeroes (matching
+// the flat store's freshly allocated data area).
+func (b *LSMBackend) ReadInto(dst []byte, now sim.Time, offset uint32, n int) ([]byte, sim.Time) {
 	val, at, ok := b.DB.Get(now, lsmKey(offset))
 	if !ok {
-		return make([]byte, n), at
+		val = nil
 	}
-	if len(val) < n {
-		padded := make([]byte, n)
-		copy(padded, val)
-		return padded, at
+	if len(val) > n {
+		val = val[:n]
 	}
-	return val[:n], at
+	dst = append(dst, val...)
+	for i := len(val); i < n; i++ {
+		dst = append(dst, 0)
+	}
+	return dst, at
+}
+
+// Read implements Backend.
+//
+// Deprecated: use ReadInto with a reused buffer.
+func (b *LSMBackend) Read(now sim.Time, offset uint32, n int) ([]byte, sim.Time) {
+	return b.ReadInto(nil, now, offset, n)
 }
 
 // Write implements Backend.

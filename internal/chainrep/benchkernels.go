@@ -45,7 +45,7 @@ func BenchFailoverReplay(n int) sim.Time {
 	now := sim.Time(0)
 	for i := 0; i < n; i++ {
 		off := uint32(rng.Intn(1<<18)) &^ 63
-		_, done, err := c.RambdaTx(now, Tx{Writes: []Tuple{{Offset: off, Data: data}}})
+		_, done, err := c.RambdaTxInto(now, Tx{Writes: []Tuple{{Offset: off, Data: data}}}, nil)
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"rambda/internal/fault"
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
 
@@ -115,6 +116,10 @@ type Chain struct {
 	// WireBPS is the network bandwidth for payload serialization.
 	WireBPS float64
 
+	// tr, when non-nil, records per-hop spans (client legs, head reads,
+	// replica applies and inter-replica hops). Nil is the fast path.
+	tr *obs.Trace
+
 	// Availability layer (failover.go). inj == nil — the default, until
 	// EnableFaultDetection — is the fault-free fast path: no liveness
 	// checks, no history retention, byte-identical timing.
@@ -138,16 +143,46 @@ func (c *Chain) wire(bytes int) sim.Duration {
 // ackBytes is the size of a chain ACK / client completion.
 const ackBytes = 32
 
-// RambdaTx executes a transaction with the RAMBDA protocol: the client
-// issues ONE combined request; the head's accelerator executes reads
-// and concurrency control, the combined log entry flows down the chain,
-// and the tail responds to the client (Fig. 11's path 1→2→3→4).
-func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err error) {
+// SetTrace attaches a span recorder to the chain (nil detaches). The
+// chain is driven from one goroutine per sweep point, matching the
+// trace's single-goroutine contract.
+func (c *Chain) SetTrace(tr *obs.Trace) { c.tr = tr }
+
+// TxScratch holds reusable per-transaction result storage for the Into
+// transaction forms: one backing buffer per read slot plus the returned
+// value-slice header. Buffers grow to the workload's high-water mark and
+// are then reused, so steady-state transactions read without
+// allocating. Returned values alias the scratch and stay valid only
+// until the next transaction that uses the same scratch.
+type TxScratch struct {
+	vals [][]byte
+	bufs [][]byte
+}
+
+// buf returns read slot i's backing buffer, empty but with retained
+// capacity.
+func (sc *TxScratch) buf(i int) []byte {
+	for len(sc.bufs) <= i {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	return sc.bufs[i][:0]
+}
+
+// RambdaTxInto executes a transaction with the RAMBDA protocol: the
+// client issues ONE combined request; the head's accelerator executes
+// reads and concurrency control, the combined log entry flows down the
+// chain, and the tail responds to the client (Fig. 11's path 1→2→3→4).
+// This is the primary form: read results land in sc's reused buffers
+// (sc may be nil, in which case every read allocates like RambdaTx).
+func (c *Chain) RambdaTxInto(now sim.Time, tx Tx, sc *TxScratch) (vals [][]byte, done sim.Time, err error) {
 	reqBytes := ackBytes
 	if len(tx.Writes) > 0 {
 		reqBytes = EntryBytes(tx.Writes)
 	}
 	at := now + c.wire(reqBytes) + c.ClientOneWay
+	if c.tr != nil {
+		c.tr.Span("chain-send", obs.StageWire, now, at)
+	}
 	hi, at, err := c.headAt(at)
 	if err != nil {
 		return nil, now, err
@@ -158,12 +193,29 @@ func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err
 	// reads from one end); after a head crash the detector has already
 	// routed us to the next live replica, which holds every committed
 	// write.
+	if sc != nil {
+		vals = sc.vals[:0]
+	}
 	respBytes := ackBytes
-	for _, r := range tx.Reads {
+	for ri, r := range tx.Reads {
+		var dst []byte
+		if sc != nil {
+			dst = sc.buf(ri)
+		}
+		rstart := at
 		var data []byte
-		data, at = head.Store.Read(at, r.Offset, r.Len)
+		data, at = head.Store.ReadInto(dst, rstart, r.Offset, r.Len)
+		if c.tr != nil {
+			c.tr.Span("head-read", obs.StageMemory, rstart, at)
+		}
+		if sc != nil {
+			sc.bufs[ri] = data
+		}
 		vals = append(vals, data)
 		respBytes += r.Len
+	}
+	if sc != nil {
+		sc.vals = vals
 	}
 
 	// Writes replicate down the chain (read-only transactions skip the
@@ -177,48 +229,102 @@ func (c *Chain) RambdaTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time, err
 		} else {
 			for i, node := range c.Nodes {
 				if i > 0 {
+					hop := at
 					at += c.HopDelay + c.wire(reqBytes)
+					if c.tr != nil {
+						c.tr.Span("chain-hop", obs.StageWire, hop, at)
+					}
 				}
-				at, err = node.applyTx(at, tx.Writes)
+				apply := at
+				at, err = node.applyTx(apply, tx.Writes)
 				if err != nil {
 					return nil, now, err
+				}
+				if c.tr != nil {
+					// Per-hop ack timing: when this replica durably
+					// applied the write set and handed off.
+					c.tr.Span(node.cfg.Name, obs.StageMemory, apply, at)
 				}
 			}
 		}
 	}
 
 	done = at + c.wire(respBytes) + c.ClientOneWay
+	if c.tr != nil {
+		c.tr.Span("chain-ack", obs.StageWire, at, done)
+	}
 	return vals, done, nil
 }
 
-// HyperLoopTx executes the same transaction with HyperLoop's
+// RambdaTx executes a transaction with the RAMBDA protocol, allocating
+// fresh result buffers.
+//
+// Deprecated: use RambdaTxInto with a reused TxScratch.
+func (c *Chain) RambdaTx(now sim.Time, tx Tx) ([][]byte, sim.Time, error) {
+	return c.RambdaTxInto(now, tx, nil)
+}
+
+// HyperLoopTxInto executes the same transaction with HyperLoop's
 // group-based primitives: every read is a one-sided RDMA read to the
 // head and every write tuple is a separate group operation traversing
 // the whole chain, all issued sequentially by the client (paper: "the
 // client needs to sequentially issue RDMA operations for each key-value
-// pair").
-func (c *Chain) HyperLoopTx(now sim.Time, tx Tx) (vals [][]byte, done sim.Time) {
+// pair"). Like RambdaTxInto, sc may be nil.
+func (c *Chain) HyperLoopTxInto(now sim.Time, tx Tx, sc *TxScratch) (vals [][]byte, done sim.Time) {
 	at := now
 	head := c.Nodes[0]
-	for _, r := range tx.Reads {
+	if sc != nil {
+		vals = sc.vals[:0]
+	}
+	for ri, r := range tx.Reads {
 		at += c.ClientOneWay + c.wire(ackBytes) // read request
+		var dst []byte
+		if sc != nil {
+			dst = sc.buf(ri)
+		}
+		rstart := at
 		var data []byte
-		data, at = head.Store.Read(at, r.Offset, r.Len)
+		data, at = head.Store.ReadInto(dst, rstart, r.Offset, r.Len)
+		if c.tr != nil {
+			c.tr.Span("head-read", obs.StageMemory, rstart, at)
+		}
+		if sc != nil {
+			sc.bufs[ri] = data
+		}
 		vals = append(vals, data)
 		at += c.ClientOneWay + c.wire(r.Len) // data back
+	}
+	if sc != nil {
+		sc.vals = vals
 	}
 	for _, w := range tx.Writes {
 		entryLen := 1 + tupleHdr + len(w.Data)
 		at += c.ClientOneWay + c.wire(entryLen)
 		for i, node := range c.Nodes {
 			if i > 0 {
+				hop := at
 				at += c.HopDelay + c.wire(entryLen)
+				if c.tr != nil {
+					c.tr.Span("chain-hop", obs.StageWire, hop, at)
+				}
 			}
-			at = node.applyHyperLoop(at, w)
+			apply := at
+			at = node.applyHyperLoop(apply, w)
+			if c.tr != nil {
+				c.tr.Span(node.cfg.Name, obs.StageMemory, apply, at)
+			}
 		}
 		at += c.ClientOneWay + c.wire(ackBytes) // group ACK
 	}
 	return vals, at
+}
+
+// HyperLoopTx executes a transaction with HyperLoop's group-based
+// primitives, allocating fresh result buffers.
+//
+// Deprecated: use HyperLoopTxInto with a reused TxScratch.
+func (c *Chain) HyperLoopTx(now sim.Time, tx Tx) ([][]byte, sim.Time) {
+	return c.HyperLoopTxInto(now, tx, nil)
 }
 
 // ReadTx is a pure-read transaction: identical in both systems (one

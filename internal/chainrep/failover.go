@@ -202,8 +202,8 @@ func (c *Chain) Rejoin(now sim.Time, i int) (sim.Time, error) {
 // StateEqual compares the first n bytes of two replicas' data areas —
 // the rejoin acceptance check.
 func StateEqual(a, b Backend, n int) bool {
-	av, _ := a.Read(0, 0, n)
-	bv, _ := b.Read(0, 0, n)
+	av, _ := a.ReadInto(nil, 0, 0, n)
+	bv, _ := b.ReadInto(nil, 0, 0, n)
 	return bytes.Equal(av, bv)
 }
 
@@ -221,7 +221,7 @@ func (c *Chain) RambdaTxWithRetry(now sim.Time, tx Tx, backoff sim.Duration,
 	}
 	at := now
 	for attempts = 1; ; attempts++ {
-		vals, done, err = c.RambdaTx(at, tx)
+		vals, done, err = c.RambdaTxInto(at, tx, nil)
 		if err != ErrConflict || attempts >= maxAttempts {
 			if err != nil {
 				done = at

@@ -45,13 +45,28 @@ func (s *Store) check(offset uint32, n int) {
 	}
 }
 
-// Read returns n bytes at offset, charging the NVM read.
-func (s *Store) Read(now sim.Time, offset uint32, n int) ([]byte, sim.Time) {
+// ReadInto appends n bytes at offset to dst, charging the NVM read.
+// With a reused buffer the read is allocation-free once the buffer's
+// capacity covers the working size.
+func (s *Store) ReadInto(dst []byte, now sim.Time, offset uint32, n int) ([]byte, sim.Time) {
 	s.check(offset, n)
 	at := s.mem.NVM.Read(now, n)
-	buf := make([]byte, n)
-	s.space.Read(s.region.Base+memspace.Addr(offset), buf)
-	return buf, at
+	base := len(dst)
+	if cap(dst)-base < n {
+		grown := make([]byte, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	s.space.Read(s.region.Base+memspace.Addr(offset), dst[base:])
+	return dst, at
+}
+
+// Read returns n bytes at offset, charging the NVM read.
+//
+// Deprecated: use ReadInto with a reused buffer.
+func (s *Store) Read(now sim.Time, offset uint32, n int) ([]byte, sim.Time) {
+	return s.ReadInto(nil, now, offset, n)
 }
 
 // Write stores data at offset, charging a sequential NVM write.

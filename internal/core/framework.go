@@ -7,6 +7,7 @@ import (
 	"rambda/internal/coherence"
 	"rambda/internal/cpoll"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/ringbuf"
 	"rambda/internal/rnic"
 	"rambda/internal/sim"
@@ -35,21 +36,38 @@ func (f AppFunc) Handle(ctx *AppCtx, now sim.Time, req []byte) ([]byte, sim.Time
 type AppCtx struct {
 	M *Machine
 	A *accel.Accel
+
+	// tr, when the server has a collector attached, records the APU's
+	// data accesses as StageMemory spans and its cycles as
+	// StageCompute spans; nil is the uninstrumented fast path.
+	tr *obs.Trace
 }
 
 // Read charges an APU data read.
 func (c *AppCtx) Read(now sim.Time, addr memspace.Addr, bytes int) sim.Time {
-	return c.A.ReadData(now, addr, bytes)
+	t := c.A.ReadData(now, addr, bytes)
+	if c.tr != nil {
+		c.tr.Span("app-read", obs.StageMemory, now, t)
+	}
+	return t
 }
 
 // Write charges an APU data write (functional).
 func (c *AppCtx) Write(now sim.Time, addr memspace.Addr, data []byte) sim.Time {
-	return c.A.WriteData(now, addr, data)
+	t := c.A.WriteData(now, addr, data)
+	if c.tr != nil {
+		c.tr.Span("app-write", obs.StageMemory, now, t)
+	}
+	return t
 }
 
 // Compute charges APU cycles.
 func (c *AppCtx) Compute(now sim.Time, cycles int) sim.Time {
-	return c.A.Compute(now, cycles)
+	t := c.A.Compute(now, cycles)
+	if c.tr != nil {
+		c.tr.Span("app-compute", obs.StageCompute, now, t)
+	}
+	return t
 }
 
 // InvokeCPU passes work to the server CPU over the intra-machine ring
@@ -57,6 +75,14 @@ func (c *AppCtx) Compute(now sim.Time, cycles int) sim.Time {
 // preprocessing path). It charges both ring crossings and the CPU-side
 // cycles.
 func (c *AppCtx) InvokeCPU(now sim.Time, bytes int, cpuCycles int) sim.Time {
+	t := c.invokeCPU(now, bytes, cpuCycles)
+	if c.tr != nil {
+		c.tr.Span("cpu-invoke", obs.StageCompute, now, t)
+	}
+	return t
+}
+
+func (c *AppCtx) invokeCPU(now sim.Time, bytes int, cpuCycles int) sim.Time {
 	// Accelerator -> CPU: coherent store into the CPU-visible ring.
 	at := c.A.Link().Transfer(now, bytes)
 	at = c.M.Mem.LLC.Access(at, bytes)
@@ -103,6 +129,17 @@ type ServerOptions struct {
 	// transaction system where the rings double as the redo log, which
 	// is what makes adaptive DDIO matter — paper Sec. IV-B, VI-A).
 	RingKind memspace.Kind
+
+	// Trace, when non-nil, attaches the observability collector: every
+	// layer the request crosses (NIC, wire, ring, notification,
+	// compute, memory) records virtual-time spans into it. Nil — the
+	// default — is the fast path: figures are byte-identical to an
+	// uninstrumented build and the request path stays allocation-free.
+	Trace *obs.Trace
+	// Metrics, when non-nil, receives the server's counter/gauge
+	// series (ring depth, cpoll signal drops, QP retransmits, arena
+	// occupancy) and is ticked on virtual time as requests complete.
+	Metrics *obs.Registry
 }
 
 // DefaultServerOptions mirrors the prototype configuration.
@@ -149,7 +186,7 @@ func NewServer(m *Machine, app App, opts ServerOptions) *Server {
 	}
 	ringBytes := uint64(opts.RingEntries * opts.EntryBytes)
 	all := m.Space.Alloc(m.Name+":req-rings", ringBytes*uint64(opts.Connections), opts.RingKind)
-	s := &Server{M: m, App: app, Opts: opts, ctx: &AppCtx{M: m, A: m.Accel}}
+	s := &Server{M: m, App: app, Opts: opts, ctx: &AppCtx{M: m, A: m.Accel, tr: opts.Trace}}
 	for i := 0; i < opts.Connections; i++ {
 		r := memspace.Range{Base: all.Base + memspace.Addr(uint64(i)*ringBytes), Size: ringBytes}
 		s.rings = append(s.rings, ringbuf.NewRing(m.Space, ringbuf.NewLayout(r, opts.RingEntries)))
@@ -171,6 +208,20 @@ func NewServer(m *Machine, app App, opts ServerOptions) *Server {
 		}
 	}
 	s.conns = make([]*ringbuf.ServerConn, opts.Connections)
+
+	if opts.Trace != nil {
+		if s.checker != nil {
+			s.checker.SetTrace(opts.Trace)
+		}
+		m.NIC.SetObs(opts.Trace)
+	}
+	if opts.Metrics != nil {
+		if s.checker != nil {
+			s.checker.RegisterMetrics(opts.Metrics, "cpoll")
+		}
+		m.NIC.RegisterMetrics(opts.Metrics, "nic.server")
+		opts.Metrics.Gauge("server.served", func() float64 { return float64(s.served) })
+	}
 	return s
 }
 
@@ -194,7 +245,11 @@ func (s *Server) PtrAddr(idx int) memspace.Addr {
 
 // bindConn installs the response transport for a connection.
 func (s *Server) bindConn(idx int, respLayout ringbuf.Layout, t ringbuf.Transport) {
-	s.conns[idx] = ringbuf.NewServerConn(s.rings[idx], respLayout, t)
+	sc := ringbuf.NewServerConn(s.rings[idx], respLayout, t)
+	if s.Opts.Trace != nil {
+		sc.SetTrace(s.Opts.Trace)
+	}
+	s.conns[idx] = sc
 }
 
 // Serve walks one request on connection idx that became visible in
@@ -215,10 +270,16 @@ func (s *Server) Serve(arrive sim.Time, idx int) ([]byte, sim.Time) {
 			t = a.Fetch(t, ringHead, coherence.LineSize)
 		}
 		s.poller.Advance(idx, 1)
+		if s.Opts.Trace != nil {
+			s.Opts.Trace.Span("poll-discover", obs.StageNotify, arrive, t)
+		}
 	default:
 		// The invalidation reaches the accelerator over the cc-link;
 		// the scheduler pops dirty rings FIFO and harvests.
 		t = arrive + UPIHop
+		if s.Opts.Trace != nil {
+			s.Opts.Trace.Span("cpoll-signal", obs.StageNotify, arrive, t)
+		}
 		found := false
 		for !found {
 			di, ok := s.checker.NextDirty()
@@ -244,6 +305,9 @@ func (s *Server) Serve(arrive sim.Time, idx int) ([]byte, sim.Time) {
 	// "fetch application data directly" property (Sec. III-A).
 	entryAddr := s.rings[idx].EntryAddr(eidx)
 	t = a.ReadData(t, entryAddr, ringbuf.HeaderBytes+len(payload))
+	if s.Opts.Trace != nil {
+		s.Opts.Trace.Span("entry-read", obs.StageRing, notified, t)
+	}
 
 	resp, t := s.App.Handle(s.ctx, t, payload)
 	processed := t
@@ -256,6 +320,9 @@ func (s *Server) Serve(arrive sim.Time, idx int) ([]byte, sim.Time) {
 		Notify:  notified - arrive,
 		Process: processed - notified,
 		Respond: done - processed,
+	}
+	if s.Opts.Metrics != nil {
+		s.Opts.Metrics.Tick(done)
 	}
 	return resp, done
 }
@@ -305,6 +372,20 @@ func ConnectClient(cm *Machine, s *Server, idx int) *Client {
 	ct := ringbuf.NewRDMATransport(cq, cm.Space, staging)
 	conn := ringbuf.NewConn(s.rings[idx].Layout, ringbuf.NewRing(cm.Space, respLayout), ct, s.PtrAddr(idx))
 
+	// Observability wiring: the client NIC executes the requester-side
+	// WQEs (its spans cover both DMA legs), and the connection wraps
+	// deliveries in ring spans. Metrics get per-connection ring depth
+	// and the client QP's reliability counters.
+	if tr := s.Opts.Trace; tr != nil {
+		cm.NIC.SetObs(tr)
+		conn.SetTrace(tr)
+	}
+	if reg := s.Opts.Metrics; reg != nil {
+		conn.RegisterMetrics(reg, fmt.Sprintf("conn.%d", idx))
+		cq.RegisterMetrics(reg, fmt.Sprintf("qp.%d", idx))
+		cm.NIC.RegisterMetrics(reg, "nic.client")
+	}
+
 	// Server -> client transport: the accelerator's SQ handler.
 	srvStaging := s.M.Space.Alloc(fmt.Sprintf("%s:sq-staging-%d", s.M.Name, idx),
 		uint64(4*s.Opts.EntryBytes), memspace.KindDRAM)
@@ -320,6 +401,11 @@ func (c *Client) CanSend() bool { return c.conn.CanSend() }
 // Call sends a request at `now` and walks it end to end, returning the
 // response and the time it became visible in client memory.
 func (c *Client) Call(now sim.Time, payload []byte) ([]byte, sim.Time) {
+	tr := c.Server.Opts.Trace
+	var sp obs.SpanID
+	if tr != nil {
+		sp = tr.Push("request", obs.StageOther, now)
+	}
 	arrive := c.conn.Send(now, payload)
 	resp, done := c.Server.Serve(arrive, c.Idx)
 	got, ok := c.conn.PollResponse()
@@ -327,5 +413,8 @@ func (c *Client) Call(now sim.Time, payload []byte) ([]byte, sim.Time) {
 		panic("core: response ring empty after serve")
 	}
 	_ = got
+	if tr != nil {
+		tr.Pop(sp, done)
+	}
 	return resp, done
 }

@@ -5,6 +5,7 @@ import (
 
 	"rambda/internal/coherence"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/ringbuf"
 	"rambda/internal/sim"
 )
@@ -52,6 +53,12 @@ func ConnectLocalClient(s *Server, idx int) *LocalClient {
 		Agent: coherence.AgentCPU,
 	}
 	conn := ringbuf.NewConn(s.rings[idx].Layout, ringbuf.NewRing(s.M.Space, respLayout), reqT, s.PtrAddr(idx))
+	if tr := s.Opts.Trace; tr != nil {
+		conn.SetTrace(tr)
+	}
+	if reg := s.Opts.Metrics; reg != nil {
+		conn.RegisterMetrics(reg, fmt.Sprintf("conn.%d", idx))
+	}
 	s.bindConn(idx, respLayout, accelRespTransport{s: s})
 	return &LocalClient{S: s, Idx: idx, conn: conn}
 }
@@ -62,10 +69,18 @@ func (c *LocalClient) CanSend() bool { return c.conn.CanSend() }
 // Call sends one request at `now` and returns the response and its
 // visibility time in the response ring.
 func (c *LocalClient) Call(now sim.Time, payload []byte) ([]byte, sim.Time) {
+	tr := c.S.Opts.Trace
+	var sp obs.SpanID
+	if tr != nil {
+		sp = tr.Push("request", obs.StageOther, now)
+	}
 	arrive := c.conn.Send(now, payload)
 	resp, done := c.S.Serve(arrive, c.Idx)
 	if _, ok := c.conn.PollResponse(); !ok {
 		panic("core: local response missing")
+	}
+	if tr != nil {
+		tr.Pop(sp, done)
 	}
 	return resp, done
 }

@@ -26,6 +26,7 @@ import (
 
 	"rambda/internal/coherence"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/ringbuf"
 	"rambda/internal/sim"
 )
@@ -71,11 +72,25 @@ type Checker struct {
 	agent  coherence.AgentID
 	pb     *ringbuf.PointerBuffer
 
-	bufs  []*tracked
-	queue []int // FIFO of dirty ring indices for the scheduler
+	bufs []*tracked
+
+	// queue is a fixed-capacity FIFO ring of dirty ring indices for
+	// the scheduler, sized to the connection count at construction.
+	// The inFlight dedupe bounds live entries to len(bufs), so the
+	// ring cannot overflow in correct operation; a full ring therefore
+	// drops the signal (the delta-based Harvest still recovers the
+	// messages on the next signal) and counts the drop.
+	queue   []int32
+	qhead   int
+	qlen    int
+	dropped int64
 
 	signals   int64
 	harvested int64
+
+	// tr, when attached, records a StageNotify span per Harvest; nil
+	// is the uninstrumented fast path.
+	tr *obs.Trace
 }
 
 // NewDirect builds a checker whose cpoll region is the union span of
@@ -103,6 +118,7 @@ func NewDirect(domain *coherence.Domain, agent coherence.AgentID, rings []*ringb
 	for _, r := range rings {
 		c.bufs = append(c.bufs, &tracked{ring: r})
 	}
+	c.queue = make([]int32, len(c.bufs))
 	domain.Pin(agent, region)
 	domain.SetSnooper(agent, c.onSignal)
 	return c
@@ -120,9 +136,23 @@ func NewPointer(domain *coherence.Domain, agent coherence.AgentID, pb *ringbuf.P
 	for i, r := range rings {
 		c.bufs = append(c.bufs, &tracked{ring: r, ptrSlot: i})
 	}
+	c.queue = make([]int32, len(c.bufs))
 	domain.Pin(agent, pb.Range())
 	domain.SetSnooper(agent, c.onSignal)
 	return c
+}
+
+// SetTrace attaches (or with nil detaches) a span recorder; Harvest
+// then records a StageNotify span covering signal resolution.
+func (c *Checker) SetTrace(tr *obs.Trace) { c.tr = tr }
+
+// RegisterMetrics registers the checker's series on reg under the
+// given name prefix: signal-queue drops, pending rings, and totals.
+func (c *Checker) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".signal_drops", func() float64 { return float64(c.dropped) })
+	reg.Gauge(prefix+".pending_rings", func() float64 { return float64(c.PendingRings()) })
+	reg.Gauge(prefix+".signals", func() float64 { return float64(c.signals) })
+	reg.Gauge(prefix+".harvested", func() float64 { return float64(c.harvested) })
 }
 
 // Mode returns the checker's region layout.
@@ -153,8 +183,17 @@ func (c *Checker) onSignal(sig coherence.Signal) {
 		b := c.bufs[idx]
 		b.dirty = true
 		if !b.inFlight {
+			if c.qlen == len(c.queue) {
+				// Cannot happen while inFlight dedupe holds (≤ one live
+				// entry per ring), but a bounded structure never trusts
+				// its invariant silently: drop and count. The ring stays
+				// dirty, so the next signal re-queues it.
+				c.dropped++
+				continue
+			}
 			b.inFlight = true
-			c.queue = append(c.queue, idx)
+			c.queue[(c.qhead+c.qlen)%len(c.queue)] = int32(idx)
+			c.qlen++
 		}
 	}
 }
@@ -178,9 +217,10 @@ func max(a, b int) int {
 // NextDirty pops the next signaled ring index in FIFO order for the
 // scheduler. ok is false when no ring has pending signals.
 func (c *Checker) NextDirty() (int, bool) {
-	for len(c.queue) > 0 {
-		idx := c.queue[0]
-		c.queue = c.queue[1:]
+	for c.qlen > 0 {
+		idx := int(c.queue[c.qhead])
+		c.qhead = (c.qhead + 1) % len(c.queue)
+		c.qlen--
 		b := c.bufs[idx]
 		b.inFlight = false
 		if b.dirty {
@@ -197,6 +237,10 @@ func (c *Checker) NextDirty() (int, bool) {
 // describes: one signal may yield several requests, several signals to
 // an unharvested ring yield their union exactly once.
 func (c *Checker) Harvest(now sim.Time, idx int, fetch FetchFunc) (int, sim.Time) {
+	var sp obs.SpanID
+	if c.tr != nil {
+		sp = c.tr.Push("harvest", obs.StageNotify, now)
+	}
 	b := c.bufs[idx]
 	b.dirty = false
 	at := now
@@ -232,7 +276,7 @@ func (c *Checker) Harvest(now sim.Time, idx int, fetch FetchFunc) (int, sim.Time
 			addr := b.ring.EntryAddr(pos)
 			at = fetch(at, addr, coherence.LineSize)
 			c.domain.Reacquire(c.agent, addr, b.ring.EntrySize)
-			if _, ok := b.ring.ReadEntry(pos); !ok {
+			if !b.ring.EntryValid(pos) {
 				break
 			}
 			fresh++
@@ -243,11 +287,19 @@ func (c *Checker) Harvest(now sim.Time, idx int, fetch FetchFunc) (int, sim.Time
 		}
 	}
 	c.harvested += int64(fresh)
+	if c.tr != nil {
+		c.tr.Pop(sp, at)
+	}
 	return fresh, at
 }
 
 // Signals reports invalidations observed by the checker.
 func (c *Checker) Signals() int64 { return c.signals }
+
+// SignalDrops reports signals discarded because the fixed-capacity
+// scheduler queue was full (zero in correct operation; the counter
+// exists so a broken invariant is visible, not silent).
+func (c *Checker) SignalDrops() int64 { return c.dropped }
 
 // Harvested reports total requests discovered.
 func (c *Checker) Harvested() int64 { return c.harvested }
@@ -301,7 +353,7 @@ func (p *SpinPoller) PollOnce(now sim.Time, fetch FetchFunc) ([]int, sim.Time) {
 		pos := int(p.seen[i]) % r.NumEntries
 		at = fetch(at, r.EntryAddr(pos), coherence.LineSize)
 		p.polls++
-		if _, ok := r.ReadEntry(pos); ok {
+		if r.EntryValid(pos) {
 			pending = append(pending, i)
 		}
 	}

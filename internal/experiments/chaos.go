@@ -184,9 +184,9 @@ func chaosCrashScenario(cfg ChaosConfig) ChaosChainRow {
 	committed := 0
 	for i := 0; i < cfg.Txs; i++ {
 		off := uint32(rng.Intn(1<<18)) &^ 63
-		_, done, err := c.RambdaTx(now, chainrep.Tx{
+		_, done, err := c.RambdaTxInto(now, chainrep.Tx{
 			Writes: []chainrep.Tuple{{Offset: off, Data: data}},
-		})
+		}, nil)
 		if err != nil {
 			panic(fmt.Sprintf("chaos: tx %d: %v", i, err))
 		}

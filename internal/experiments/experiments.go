@@ -36,11 +36,22 @@ type Spec struct {
 // by cmd/rambda-figures, cmd/rambda-bench, and the output-pinning
 // tests.
 func StandardSpecs(quick bool) []Spec {
+	return StandardSpecsObs(quick, "", "")
+}
+
+// StandardSpecsObs is StandardSpecs with observability export paths for
+// the breakdown experiment: non-empty traceOut/metricsOut make the
+// breakdown spec write its Chrome trace / metrics JSON files after its
+// jobs have run. Empty strings (the StandardSpecs default) export
+// nothing; either way the collector only ever attaches to the breakdown
+// spec's own machines, so the paper figures stay on the nil fast path.
+func StandardSpecsObs(quick bool, traceOut, metricsOut string) []Spec {
 	f7 := DefaultFig7Config()
 	kvs := DefaultKVSConfig()
 	f12 := DefaultFig12Config()
 	f13 := DefaultFig13Config()
 	chaos := DefaultChaosConfig()
+	bd := DefaultBreakdownConfig()
 	fig1Requests := 20000
 	if quick {
 		fig1Requests = 4000
@@ -53,9 +64,12 @@ func StandardSpecs(quick bool) []Spec {
 		f13.RowScale = 0.1
 		chaos.Writes = 1200
 		chaos.Txs = 600
+		bd.Requests = 3000
 	}
-	// The chaos spec stays LAST: figure goldens pin the print order of
-	// the paper figures, and new non-paper experiments append after them.
+	bd.TraceOut, bd.MetricsOut = traceOut, metricsOut
+	// The chaos spec stays after the paper figures: figure goldens pin
+	// their print order, and non-paper experiments (chaos, breakdown)
+	// append after them.
 	return []Spec{
 		Fig1Spec(fig1Requests, 1),
 		Fig5Spec(),
@@ -68,6 +82,7 @@ func StandardSpecs(quick bool) []Spec {
 		Fig13Spec(f13),
 		ScalabilitySpec(DefaultScalabilityConfig()),
 		ChaosSpec(chaos),
+		BreakdownSpec(bd),
 	}
 }
 

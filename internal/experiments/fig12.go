@@ -125,6 +125,7 @@ func fig12Point(cfg Fig12Config, node chainrep.NodeConfig, sysName string, reads
 	jrng := sim.NewRNG(cfg.Seed + 1)
 	hist := sim.NewHistogram(0)
 	scratch := newFig12TxScratch(valueBytes)
+	rsc := &chainrep.TxScratch{} // reused read buffers: steady-state reads don't allocate
 	now := sim.Time(0)
 	for i := 0; i < cfg.Transactions; i++ {
 		// ARM routing wanders between 2 and 3 us (Sec. VI-C).
@@ -132,13 +133,13 @@ func fig12Point(cfg Fig12Config, node chainrep.NodeConfig, sysName string, reads
 		tx := scratch.build(rng, cfg.Pairs, reads, writes, valueBytes)
 		var done sim.Time
 		if sysName == "RAMBDA" {
-			_, d, err := chain.RambdaTx(now, tx)
+			_, d, err := chain.RambdaTxInto(now, tx, rsc)
 			if err != nil {
 				panic(err)
 			}
 			done = d
 		} else {
-			_, done = chain.HyperLoopTx(now, tx)
+			_, done = chain.HyperLoopTxInto(now, tx, rsc)
 		}
 		hist.Record(done - now)
 		now = done // serial client

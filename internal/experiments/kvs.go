@@ -8,6 +8,7 @@ import (
 	"rambda/internal/hostcpu"
 	"rambda/internal/kvs"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/power"
 	"rambda/internal/runner"
 	"rambda/internal/sim"
@@ -154,11 +155,22 @@ type rambdaKVS struct {
 }
 
 func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKVS {
+	return newRambdaKVSObs(cfg, variant, batch, nil, nil)
+}
+
+// newRambdaKVSObs is newRambdaKVS with an observability collector
+// attached (the breakdown experiment); tr/reg nil is the regular
+// uninstrumented fast path.
+func newRambdaKVSObs(cfg KVSConfig, variant core.AccelVariant, batch int,
+	tr *obs.Trace, reg *obs.Registry) *rambdaKVS {
 	sm := core.NewMachine(core.MachineConfig{Name: "srv", Variant: variant})
 	cm := core.NewMachine(core.MachineConfig{Name: "cli"})
 	core.ConnectMachines(sm, cm)
 	kind := sm.DataKind()
 	store := preloadStore(sm.Space, kind, cfg)
+	if reg != nil {
+		store.RegisterMetrics(reg, "kvs")
+	}
 	r := &rambdaKVS{n: cfg.Connections}
 
 	app := core.AppFunc(func(ctx *core.AppCtx, now sim.Time, reqBytes []byte) ([]byte, sim.Time) {
@@ -184,6 +196,8 @@ func newRambdaKVS(cfg KVSConfig, variant core.AccelVariant, batch int) *rambdaKV
 	opts.RingEntries = cfg.Batch * 4
 	opts.EntryBytes = 128
 	opts.ResponseBatch = batch
+	opts.Trace = tr
+	opts.Metrics = reg
 	s := core.NewServer(sm, app, opts)
 	for i := 0; i < cfg.Connections; i++ {
 		r.clients = append(r.clients, core.ConnectClient(cm, s, i))
@@ -738,7 +752,7 @@ func Tab3Table(cfg KVSConfig) *Table {
 // clientConnSend and clientConnPoll expose the CPU client's raw
 // connection steps for diagnostics and tests.
 func clientConnSend(c *core.CPUClient, now sim.Time, req kvs.Request) sim.Time {
-	return c.ConnSend(now, kvs.EncodeRequest(req))
+	return c.ConnSend(now, kvs.AppendRequest(nil, req))
 }
 
 func clientConnPoll(c *core.CPUClient) { c.ConnPoll() }

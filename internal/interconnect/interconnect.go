@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"rambda/internal/fault"
+	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
 
@@ -134,6 +135,11 @@ type NetLink struct {
 	// fi is the link's fault process; nil (the common case) is the
 	// allocation-free clean fast path.
 	fi *fault.LinkInjector
+
+	// tr, when attached, records one StageWire span per Transmit; nil
+	// (the common case) is the uninstrumented fast path, same pattern
+	// as fi.
+	tr *obs.Trace
 }
 
 // NewNetLink builds one network direction with the given wire bandwidth
@@ -159,6 +165,12 @@ func (n *NetLink) AttachFaults(inj *fault.Injector) {
 // Faults returns the link's fault injector (nil when clean) so
 // transports can report loss statistics.
 func (n *NetLink) Faults() *fault.LinkInjector { return n.fi }
+
+// SetTrace attaches (or with nil detaches) a span recorder; each
+// Transmit then records a StageWire span named after the link. The
+// link name is interned at construction, so recording allocates
+// nothing.
+func (n *NetLink) SetTrace(tr *obs.Trace) { n.tr = tr }
 
 // InjectLoss enables the loss process: each transmission attempt drops
 // with probability rate and is retried after rto.
@@ -238,6 +250,9 @@ func (n *NetLink) Transmit(now sim.Time, bytes int) Outcome {
 	// (whole-message, matching the original Send semantics).
 	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 		out.Dropped = true
+	}
+	if n.tr != nil {
+		n.tr.Span(n.name, obs.StageWire, now, out.Arrive)
 	}
 	return out
 }

@@ -6,6 +6,31 @@
 // and RAMBDA accelerator models charge to their respective datapaths.
 // Matching MICA and KV-Direct, a GET costs three memory accesses on
 // average and a PUT four.
+//
+// # API forms and buffer ownership
+//
+// The PRIMARY request-path API is the append/Into family —
+// [Store.GetInto], [Store.PutInto], [Store.DeleteInto], [ApplyScratch],
+// [AppendRequest], [AppendResponse]. Each takes caller-owned
+// destination buffers (value bytes, access trace, wire frames), appends
+// into them, and returns the grown slices; pass the returned slice back
+// re-sliced to [:0] and the steady state allocates nothing once
+// capacities reach the workload's high-water mark.
+//
+// Ownership and validity rules:
+//
+//   - Returned slices alias the buffers the caller passed in (or the
+//     [Scratch]); they are valid only until the next call that reuses
+//     those buffers. Retention sites (caches, dedup stores, history
+//     logs) must copy.
+//   - The store never retains caller buffers: key/value bytes are
+//     copied into the simulated address space before the call returns,
+//     so request buffers may be reused immediately.
+//
+// The allocating forms ([Store.Get], [Store.Put], [Store.Delete],
+// [Apply], [EncodeRequest], [EncodeResponse]) are thin deprecated
+// wrappers that pass nil buffers; they remain for one-shot callers and
+// tests.
 package kvs
 
 import (
@@ -15,6 +40,7 @@ import (
 	"hash/fnv"
 
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 )
 
 // Access is one memory access of an operation's trace.
@@ -149,7 +175,10 @@ func (s *Store) readItem(addr memspace.Addr) (key, val []byte) {
 func itemBytes(key, val []byte) int { return itemHdrBytes + len(key) + len(val) }
 
 // Get looks up key and returns the value (freshly allocated) plus the
-// access trace. Hot loops should use GetInto with reusable buffers.
+// access trace.
+//
+// Deprecated: use GetInto with reusable buffers; Get allocates fresh
+// value and trace slices per call.
 func (s *Store) Get(key []byte) (val []byte, trace []Access, ok bool) {
 	return s.GetInto(nil, nil, key)
 }
@@ -188,15 +217,17 @@ func (s *Store) GetInto(dst []byte, trace []Access, key []byte) ([]byte, []Acces
 	}
 }
 
-// Put inserts or updates key, returning the access trace. The whole
-// chain is searched for the key before inserting so a key never appears
-// twice.
+// Put inserts or updates key, returning the access trace.
+//
+// Deprecated: use PutInto with a reusable trace buffer.
 func (s *Store) Put(key, val []byte) ([]Access, error) {
 	return s.PutInto(nil, key, val)
 }
 
-// PutInto is Put appending accesses to a caller-provided trace
-// (capacity retained across calls).
+// PutInto inserts or updates key, appending the memory accesses to the
+// caller-provided trace (capacity retained across calls). The whole
+// chain is searched for the key before inserting so a key never appears
+// twice.
 func (s *Store) PutInto(trace []Access, key, val []byte) ([]Access, error) {
 	s.puts++
 	h := hashKey(key)
@@ -279,12 +310,15 @@ func (s *Store) PutInto(trace []Access, key, val []byte) ([]Access, error) {
 }
 
 // Delete removes key, returning whether it was present.
+//
+// Deprecated: use DeleteInto with a reusable trace buffer.
 func (s *Store) Delete(key []byte) ([]Access, bool) {
 	return s.DeleteInto(nil, key)
 }
 
-// DeleteInto is Delete appending accesses to a caller-provided trace
-// (capacity retained across calls).
+// DeleteInto removes key, appending the memory accesses to the
+// caller-provided trace (capacity retained across calls); ok reports
+// whether the key was present.
 func (s *Store) DeleteInto(trace []Access, key []byte) ([]Access, bool) {
 	s.deletes++
 	h := hashKey(key)
@@ -328,4 +362,19 @@ func (s *Store) Stats() Stats {
 		Gets: s.gets, Puts: s.puts, Deletes: s.deletes, Misses: s.misses,
 		ChainedBuckets: s.chained, LiveItems: s.slab.liveBlocks(),
 	}
+}
+
+// RegisterMetrics exposes the store's activity counters as gauges under
+// prefix, including the derived GET hit rate.
+func (s *Store) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".gets", func() float64 { return float64(s.gets) })
+	reg.Gauge(prefix+".puts", func() float64 { return float64(s.puts) })
+	reg.Gauge(prefix+".misses", func() float64 { return float64(s.misses) })
+	reg.Gauge(prefix+".live_items", func() float64 { return float64(s.slab.liveBlocks()) })
+	reg.Gauge(prefix+".hit_rate", func() float64 {
+		if s.gets == 0 {
+			return 0
+		}
+		return float64(s.gets-s.misses) / float64(s.gets)
+	})
 }

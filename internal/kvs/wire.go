@@ -53,6 +53,9 @@ func AppendRequest(dst []byte, r Request) []byte {
 }
 
 // EncodeRequest serializes a request into a fresh buffer.
+//
+// Deprecated: use AppendRequest with a reused buffer; EncodeRequest
+// allocates a fresh frame per call.
 func EncodeRequest(r Request) []byte {
 	return AppendRequest(make([]byte, 0, 7+len(r.Key)+len(r.Val)), r)
 }
@@ -93,6 +96,9 @@ func AppendResponse(dst []byte, r Response) []byte {
 }
 
 // EncodeResponse serializes a response into a fresh buffer.
+//
+// Deprecated: use AppendResponse with a reused buffer; EncodeResponse
+// allocates a fresh frame per call.
 func EncodeResponse(r Response) []byte {
 	return AppendResponse(make([]byte, 0, 5+len(r.Val)), r)
 }
@@ -111,30 +117,13 @@ func DecodeResponse(b []byte) (Response, error) {
 
 // Apply executes a decoded request against a store, returning the
 // response and the access trace for timing. Every call allocates fresh
-// value and trace buffers; hot loops should use ApplyScratch.
+// value and trace buffers.
+//
+// Deprecated: use ApplyScratch with a per-worker Scratch; Apply
+// allocates fresh value and trace buffers per call.
 func Apply(s *Store, r Request) (Response, []Access) {
-	switch r.Op {
-	case OpGet:
-		val, trace, ok := s.Get(r.Key)
-		if !ok {
-			return Response{Status: StatusNotFound}, trace
-		}
-		return Response{Status: StatusOK, Val: val}, trace
-	case OpPut:
-		trace, err := s.Put(r.Key, r.Val)
-		if err != nil {
-			return Response{Status: StatusError}, trace
-		}
-		return Response{Status: StatusOK}, trace
-	case OpDelete:
-		trace, ok := s.Delete(r.Key)
-		if !ok {
-			return Response{Status: StatusNotFound}, trace
-		}
-		return Response{Status: StatusOK}, trace
-	default:
-		return Response{Status: StatusError}, nil
-	}
+	var sc Scratch
+	return ApplyScratch(s, r, &sc)
 }
 
 // Scratch is one worker's reusable buffer set for the request path:

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// guards skip under it because instrumentation distorts the counts.
+const raceEnabled = true

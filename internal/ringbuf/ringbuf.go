@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
 
@@ -95,8 +96,18 @@ func NewRing(space *memspace.Space, l Layout) *Ring {
 
 // ReadEntry returns the payload at index i (freshly allocated) if the
 // entry is valid.
+//
+// Deprecated: use ReadEntryAppend with a reusable buffer (the primary
+// consume API), or EntryValid when only the valid bit matters.
 func (r *Ring) ReadEntry(i int) ([]byte, bool) {
 	return r.ReadEntryAppend(nil, i)
+}
+
+// EntryValid reports whether entry i holds an unconsumed message,
+// without touching the payload — the allocation-free validity probe
+// notification paths use.
+func (r *Ring) EntryValid(i int) bool {
+	return r.space.Slice(r.EntryAddr(i), 1)[0] != 0
 }
 
 // ReadEntryAppend appends the payload at index i onto dst, returning
@@ -194,6 +205,11 @@ type Conn struct {
 	// returning), respBuf backs the payload PollResponse returns — that
 	// slice is only valid until the next PollResponse on this Conn.
 	entryBuf, respBuf []byte
+
+	// tr, when attached, wraps each Send in a StageRing span (the NIC
+	// and wire spans the transport emits nest inside it); nil is the
+	// uninstrumented fast path.
+	tr *obs.Trace
 }
 
 // NewConn builds a client connection. ptrAddr is the server-side
@@ -201,6 +217,16 @@ type Conn struct {
 // ring itself is the cpoll region.
 func NewConn(req Layout, resp *Ring, t Transport, ptrAddr memspace.Addr) *Conn {
 	return &Conn{Req: req, Resp: resp, t: t, ptrAddr: ptrAddr}
+}
+
+// SetTrace attaches (or with nil detaches) a span recorder; Send then
+// records a StageRing span around each delivery.
+func (c *Conn) SetTrace(tr *obs.Trace) { c.tr = tr }
+
+// RegisterMetrics registers the connection's ring-depth gauge on reg
+// under the given name prefix.
+func (c *Conn) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".outstanding", func() float64 { return float64(c.outstanding) })
 }
 
 // CanSend reports whether a credit is available (paper: "Only if the
@@ -231,7 +257,14 @@ func (c *Conn) Send(now sim.Time, payload []byte) sim.Time {
 		c.ptrVal++
 		pa = c.ptrAddr
 	}
+	var sp obs.SpanID
+	if c.tr != nil {
+		sp = c.tr.Push("ring-send", obs.StageRing, now)
+	}
 	done := c.t.Deliver(now, addr, entry, pa, c.ptrVal)
+	if c.tr != nil {
+		c.tr.Pop(sp, done)
+	}
 	c.tail = (c.tail + 1) % c.Req.NumEntries
 	c.outstanding++
 	c.sent++
@@ -277,12 +310,19 @@ type ServerConn struct {
 	// the next NextRequest on this connection), entryBuf backs Respond's
 	// framed entry (copied out by the Transport before it returns).
 	reqBuf, entryBuf []byte
+
+	// tr, when attached, wraps each Respond in a StageRing span.
+	tr *obs.Trace
 }
 
 // NewServerConn builds the server side of a connection.
 func NewServerConn(req *Ring, resp Layout, t Transport) *ServerConn {
 	return &ServerConn{Req: req, Resp: resp, t: t}
 }
+
+// SetTrace attaches (or with nil detaches) a span recorder; Respond
+// then records a StageRing span around each delivery.
+func (s *ServerConn) SetTrace(tr *obs.Trace) { s.tr = tr }
 
 // NextRequest returns the next pending request payload without
 // consuming it. idx identifies the entry for Complete. The payload
@@ -314,7 +354,14 @@ func (s *ServerConn) Respond(now sim.Time, payload []byte) sim.Time {
 	s.entryBuf = s.Resp.AppendEncode(s.entryBuf[:0], payload)
 	entry := s.entryBuf
 	addr := s.Resp.EntryAddr(s.respTail)
+	var sp obs.SpanID
+	if s.tr != nil {
+		sp = s.tr.Push("ring-respond", obs.StageRing, now)
+	}
 	done := s.t.Deliver(now, addr, entry, 0, 0)
+	if s.tr != nil {
+		s.tr.Pop(sp, done)
+	}
 	s.respTail = (s.respTail + 1) % s.Resp.NumEntries
 	return done
 }

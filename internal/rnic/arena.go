@@ -13,6 +13,9 @@ package rnic
 // single goroutine, so the arena needs no locking.
 type payloadArena struct {
 	classes [len(arenaClasses)][][]byte
+	// live counts buffers currently checked out to in-flight
+	// operations — the occupancy the metrics registry reports.
+	live int
 }
 
 // arenaClasses are the pooled buffer capacities. The top class covers
@@ -36,6 +39,7 @@ func arenaClassFor(n int) int {
 // from a previous operation; every call site overwrites the full
 // buffer (DMARead fills it) before any read, so no clearing is needed.
 func (a *payloadArena) get(n int) []byte {
+	a.live++
 	ci := arenaClassFor(n)
 	if ci < 0 {
 		return make([]byte, n)
@@ -52,6 +56,7 @@ func (a *payloadArena) get(n int) []byte {
 // put returns a buffer to its class. Oversized (non-pooled) buffers
 // and overflow beyond maxPooled are dropped for the GC.
 func (a *payloadArena) put(buf []byte) {
+	a.live--
 	ci := arenaClassFor(cap(buf))
 	if ci < 0 || cap(buf) != arenaClasses[ci] || len(a.classes[ci]) >= maxPooled {
 		return

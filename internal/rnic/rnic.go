@@ -19,6 +19,7 @@ import (
 	"rambda/internal/interconnect"
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
 
@@ -198,6 +199,11 @@ type NIC struct {
 	// (requester-side WRITE/SEND staging and responder-side READ data).
 	arena payloadArena
 
+	// tr, when attached via SetObs, records StageNIC spans for WQE
+	// execution legs (DMA reads/writes, doorbells, CQE delivery); nil
+	// is the uninstrumented fast path.
+	tr *obs.Trace
+
 	qpCounter int
 }
 
@@ -231,6 +237,28 @@ func New(cfg Config, host *Host) *NIC {
 func Connect(a, b *NIC, d *interconnect.Duplex) {
 	a.tx, b.tx = d.AtoB, d.BtoA
 	a.peer, b.peer = b, a
+}
+
+// SetObs attaches a span recorder to the NIC and its transmit link:
+// WQE execution legs record StageNIC spans and every wire transit
+// records a StageWire span. Metrics (per-QP retransmit/RNR counters,
+// arena occupancy) are registered by the layer that owns the registry
+// via RegisterMetrics. Call after Connect; nil detaches.
+func (n *NIC) SetObs(tr *obs.Trace) {
+	n.tr = tr
+	if n.tx != nil {
+		n.tx.SetTrace(tr)
+	}
+}
+
+// RegisterMetrics registers the NIC's gauges on reg under the given
+// name prefix: arena occupancy plus the aggregate retransmit / RNR /
+// timeout counts across all of this NIC's queue pairs would need QP
+// handles, so QP-level series are registered by callers that own the
+// QPs (see core.ConnectClient); here we register what the NIC itself
+// owns.
+func (n *NIC) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".arena_live", func() float64 { return float64(n.arena.live) })
 }
 
 // RegisterMR registers a memory region, recording the TPH attribute for
@@ -325,6 +353,16 @@ func (q *QP) RemoteHost() *Host {
 // Stats returns traffic counters.
 func (q *QP) Stats() QPStats { return q.stats }
 
+// RegisterMetrics registers the QP's reliability counters as gauges on
+// reg under the given name prefix. Gauges read the live stats at each
+// ticker sample, so registration happens once at wiring time and the
+// request path stays untouched.
+func (q *QP) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".retransmits", func() float64 { return float64(q.stats.Retransmits) })
+	reg.Gauge(prefix+".rnr_naks", func() float64 { return float64(q.stats.RNRNaks) })
+	reg.Gauge(prefix+".timeouts", func() float64 { return float64(q.stats.Timeouts) })
+}
+
 // Doorbells returns the number of doorbell MMIO writes issued.
 func (q *QP) Doorbells() int64 { return q.doorbells }
 
@@ -374,6 +412,9 @@ func (q *QP) Doorbell(now sim.Time) []OpResult {
 	}
 	q.doorbells++
 	at := q.nic.Host.PCIeR.MMIOWrite(now)
+	if q.nic.tr != nil {
+		q.nic.tr.Span("doorbell", obs.StageNIC, now, at)
+	}
 	return q.ExecutePosted(at)
 }
 
@@ -412,7 +453,11 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 	switch w.Op {
 	case OpWrite:
 		buf := n.arena.get(w.Len)
+		dmaStart := t
 		t = n.Host.DMARead(t, w.LocalAddr, buf)
+		if n.tr != nil {
+			n.tr.Span("dma-read", obs.StageNIC, dmaStart, t)
+		}
 		var ok bool
 		if t, ok = q.sendReliable(n.tx, t, w.Len+wqeWireOverhead); !ok {
 			n.arena.put(buf)
@@ -420,7 +465,11 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		}
 		rn := q.remote.nic
 		_, t = rn.proc.Acquire(t, 0)
+		dmaStart = t
 		t = rn.Host.DMAWrite(t, w.RemoteAddr, buf, rn.tphFor(w.RemoteAddr))
+		if n.tr != nil {
+			n.tr.Span("dma-write", obs.StageNIC, dmaStart, t)
+		}
 		n.arena.put(buf)
 		res.RemoteVisible = t
 		q.stats.Writes++
@@ -453,7 +502,11 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 	case OpSend:
 		rq := q.remote
 		buf := n.arena.get(w.Len)
+		dmaStart := t
 		t = n.Host.DMARead(t, w.LocalAddr, buf)
+		if n.tr != nil {
+			n.tr.Span("dma-read", obs.StageNIC, dmaStart, t)
+		}
 		// Deliver the message, then claim a receive buffer. When the
 		// remote ring is exhausted (or its head not yet replenished)
 		// the responder NAKs receiver-not-ready; the sender waits the
@@ -486,7 +539,11 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 		}
 		rn := rq.nic
 		_, t = rn.proc.Acquire(t, 0)
+		dmaStart = t
 		t = rn.Host.DMAWrite(t, rb.addr, buf, rn.tphFor(rb.addr))
+		if n.tr != nil {
+			n.tr.Span("dma-write", obs.StageNIC, dmaStart, t)
+		}
 		n.arena.put(buf)
 		// Receive-side completion.
 		rq.cq.push(CQE{WRID: rb.wrid, Op: OpSend, At: t, Len: w.Len})
@@ -552,6 +609,9 @@ func (q *QP) execute(now sim.Time, w WQE) OpResult {
 			}
 		}
 		cqeAt := n.Host.PCIe.DMA(back, cqeBytes)
+		if n.tr != nil {
+			n.tr.Span("cqe-dma", obs.StageNIC, back, cqeAt)
+		}
 		q.cq.push(CQE{WRID: w.WRID, Op: w.Op, At: cqeAt, Len: w.Len})
 		res.CQEAt = cqeAt
 	}

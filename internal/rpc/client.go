@@ -3,6 +3,7 @@ package rpc
 import (
 	"errors"
 
+	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
 
@@ -64,6 +65,10 @@ type Client struct {
 	// between Calls (transports copy the bytes into rings/staging before
 	// Exchange returns, so nothing aliases it afterwards).
 	reqBuf []byte
+
+	// trace, when non-nil, records one envelope span per attempt (the
+	// transport's own spans nest inside it). Nil is the fast path.
+	trace *obs.Trace
 }
 
 // NewClient builds a retry client over the transport.
@@ -73,6 +78,17 @@ func NewClient(tr Transport, cfg ClientConfig) *Client {
 
 // Stats returns retry counters.
 func (c *Client) Stats() ClientStats { return c.stats }
+
+// SetTrace attaches a span recorder (nil detaches).
+func (c *Client) SetTrace(tr *obs.Trace) { c.trace = tr }
+
+// RegisterMetrics exposes the retry counters as gauges under prefix.
+func (c *Client) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".calls", func() float64 { return float64(c.stats.Calls) })
+	reg.Gauge(prefix+".retries", func() float64 { return float64(c.stats.Retries) })
+	reg.Gauge(prefix+".garbled", func() float64 { return float64(c.stats.Garbled) })
+	reg.Gauge(prefix+".failures", func() float64 { return float64(c.stats.Failures) })
+}
 
 func (c *Client) timeout() sim.Duration {
 	if c.cfg.Timeout > 0 {
@@ -118,21 +134,34 @@ func (c *Client) Call(now sim.Time, method uint8, payload []byte) (Message, sim.
 			c.stats.Retries++
 		}
 		c.stats.Attempts++
+		var sp obs.SpanID
+		if c.trace != nil {
+			sp = c.trace.Push("rpc-attempt", obs.StageOther, now)
+		}
 		resp, done, ok := c.tr.Exchange(now, req)
 		if ok {
 			m, derr := Decode(resp)
 			if derr == nil && m.ReqID == id {
+				if c.trace != nil {
+					c.trace.Pop(sp, done)
+				}
 				return m, done, nil
 			}
 			// A response arrived but it is not ours (corrupted frame or
 			// a stale replay): retry as soon as we saw it.
 			c.stats.Garbled++
 			now = done + c.backoff(attempt+1)
+			if c.trace != nil {
+				c.trace.Pop(sp, now)
+			}
 			continue
 		}
 		// Nothing came back: the client's timer fires a full timeout
 		// after the attempt started.
 		now += sim.Time(c.timeout() + c.backoff(attempt+1))
+		if c.trace != nil {
+			c.trace.Pop(sp, now)
+		}
 	}
 	c.stats.Failures++
 	return Message{}, now, ErrTimeout
@@ -224,6 +253,8 @@ func (s *Server) Handle(req []byte) ([]byte, error) {
 	}
 	out := s.h(m)
 	out.ReqID = m.ReqID
+	// Fresh buffer on purpose: the dedup table retains this frame for
+	// replay, so it must not alias a reused scratch buffer.
 	buf, err := Encode(out)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,19 @@
 // carrying request identity and method, a field-oriented serializer for
 // structured payloads, and a cycle-cost model so the accelerator can
 // charge (de)serialization work.
+//
+// # Encoding forms and buffer ownership
+//
+// [AppendEncode] is the PRIMARY framing API: it appends the frame onto
+// a caller-owned buffer and returns the grown slice, so a worker that
+// re-slices the returned buffer to [:0] between calls encodes with zero
+// steady-state allocations. The returned frame aliases that buffer and
+// is valid only until its next reuse.
+//
+// [Encode] is the retention-safe convenience: it frames into a fresh
+// buffer each call. Use it where the frame outlives the call site —
+// e.g. Server.Handle responses, which the dedup table retains for
+// replay.
 package rpc
 
 import (
@@ -28,6 +41,11 @@ type Message struct {
 // 16-bit length field are a caller error reported as an error, not a
 // panic — a malformed request must degrade gracefully, not kill the
 // server.
+//
+// Encode is deliberately NOT deprecated: it is the correct form when
+// the frame is retained past the call (the dedup table keeps response
+// frames for replay). Hot paths that reuse buffers should prefer
+// AppendEncode.
 func Encode(m Message) ([]byte, error) {
 	buf, err := AppendEncode(make([]byte, 0, HeaderBytes+len(m.Payload)), m)
 	if err != nil {

@@ -16,16 +16,22 @@
 //   - The CPU baseline server for comparisons.
 //   - The virtual-time toolkit (clock, load drivers, histograms) that
 //     every benchmark in this repository uses.
+//   - Deterministic observability: per-request span tracing and a
+//     metrics registry, with Chrome trace_event and JSON exporters
+//     (see the Observability section below).
 //
 // See examples/quickstart for a minimal end-to-end application and
 // DESIGN.md for the system inventory.
 package rambda
 
 import (
+	"io"
+
 	"rambda/internal/core"
 	"rambda/internal/cpoll"
 	"rambda/internal/hostcpu"
 	"rambda/internal/memspace"
+	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
 
@@ -187,4 +193,63 @@ func NewCPUServer(m *Machine, h CPUHandler, opts CPUServerOptions) *CPUServer {
 // DialCPU establishes remote connection idx to the baseline server.
 func DialCPU(cm *Machine, s *CPUServer, idx int) *CPUClient {
 	return core.ConnectCPUClient(cm, s, idx)
+}
+
+// Observability. Attach a Tracer and/or Metrics registry through
+// ServerOptions (Trace, Metrics fields) before NewServer; both are
+// virtual-time collectors, so a run with a collector attached produces
+// byte-identical exports for the same seed. Leaving them nil is the
+// fast path: no spans, no samples, no allocations.
+type (
+	// Tracer records nested request spans in virtual time. One tracer
+	// serves one deterministic run (single goroutine).
+	Tracer = obs.Trace
+	// Metrics is a registry of named counters and gauges sampled on a
+	// virtual-time ticker.
+	Metrics = obs.Registry
+	// TraceStage classifies a span by pipeline stage.
+	TraceStage = obs.Stage
+	// TraceExport names one tracer for Chrome trace_event export.
+	TraceExport = obs.TraceJSON
+	// MetricsExport names one registry for JSON export.
+	MetricsExport = obs.MetricsJSON
+)
+
+// Pipeline stages for spans.
+const (
+	StageNIC     = obs.StageNIC
+	StageWire    = obs.StageWire
+	StageRing    = obs.StageRing
+	StageNotify  = obs.StageNotify
+	StageCompute = obs.StageCompute
+	StageMemory  = obs.StageMemory
+	StageOther   = obs.StageOther
+)
+
+// NewTracer creates an empty span collector.
+func NewTracer() *Tracer { return obs.NewTrace() }
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteChromeTrace writes the named tracers as Chrome trace_event JSON
+// (load in chrome://tracing or Perfetto).
+func WriteChromeTrace(w io.Writer, traces []TraceExport) error {
+	return obs.WriteChromeTrace(w, traces)
+}
+
+// WriteChromeTraceFile is WriteChromeTrace to a file path.
+func WriteChromeTraceFile(path string, traces []TraceExport) error {
+	return obs.WriteChromeTraceFile(path, traces)
+}
+
+// WriteMetrics writes the named registries' samples and final values as
+// JSON.
+func WriteMetrics(w io.Writer, regs []MetricsExport) error {
+	return obs.WriteMetrics(w, regs)
+}
+
+// WriteMetricsFile is WriteMetrics to a file path.
+func WriteMetricsFile(path string, regs []MetricsExport) error {
+	return obs.WriteMetricsFile(path, regs)
 }
