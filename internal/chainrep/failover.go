@@ -169,6 +169,35 @@ func (n *Node) applyCatchUp(now sim.Time, writes []Tuple) sim.Time {
 	return at
 }
 
+// ApplyCommitted pushes an already-committed write set down the whole
+// chain — log append plus data writes at every replica, with no
+// concurrency control — and returns the client-visible completion time.
+// This is the rejoin catch-up machinery (applyCatchUp) exposed for
+// constructive reconfiguration: internal/scaleout installs migration
+// snapshot chunks and redo-log catch-up entries into a destination
+// shard's chain through it. With fault detection armed it takes the
+// same detection/splice/history path as a regular replicated write, so
+// a later Rejoin still catches the replica up.
+func (c *Chain) ApplyCommitted(now sim.Time, writes []Tuple) (sim.Time, error) {
+	reqBytes := EntryBytes(writes)
+	at := now + c.wire(reqBytes) + c.ClientOneWay
+	if c.inj != nil {
+		var err error
+		at, err = c.replicateFaulty(at, writes, reqBytes)
+		if err != nil {
+			return now, err
+		}
+	} else {
+		for i, node := range c.Nodes {
+			if i > 0 {
+				at += c.HopDelay + c.wire(reqBytes)
+			}
+			at = node.applyCatchUp(at, writes)
+		}
+	}
+	return at + c.wire(ackBytes) + c.ClientOneWay, nil
+}
+
 // Rejoin brings a spliced-out replica back into the chain: it waits out
 // the rest of the node's fault window, replays the replica's own redo
 // log (a crash loses in-flight volatile state; the NVM log repairs any

@@ -46,12 +46,27 @@ func StandardSpecs(quick bool) []Spec {
 // nothing; either way the collector only ever attaches to the breakdown
 // spec's own machines, so the paper figures stay on the nil fast path.
 func StandardSpecsObs(quick bool, traceOut, metricsOut string) []Spec {
+	return StandardSpecsPaths(quick, ObsPaths{TraceOut: traceOut, MetricsOut: metricsOut})
+}
+
+// ObsPaths carries the export destinations of the non-paper specs:
+// breakdown's Chrome trace and metrics registry, and the scaleout
+// sweep's per-point metrics registries. Empty fields export nothing.
+type ObsPaths struct {
+	TraceOut           string
+	MetricsOut         string
+	ScaleoutMetricsOut string
+}
+
+// StandardSpecsPaths is the full enumeration with every export path.
+func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 	f7 := DefaultFig7Config()
 	kvs := DefaultKVSConfig()
 	f12 := DefaultFig12Config()
 	f13 := DefaultFig13Config()
 	chaos := DefaultChaosConfig()
 	bd := DefaultBreakdownConfig()
+	sc := DefaultScaleoutConfig()
 	fig1Requests := 20000
 	if quick {
 		fig1Requests = 4000
@@ -65,11 +80,14 @@ func StandardSpecsObs(quick bool, traceOut, metricsOut string) []Spec {
 		chaos.Writes = 1200
 		chaos.Txs = 600
 		bd.Requests = 3000
+		sc.Keys = 1 << 13
+		sc.Requests = 4800
 	}
-	bd.TraceOut, bd.MetricsOut = traceOut, metricsOut
+	bd.TraceOut, bd.MetricsOut = paths.TraceOut, paths.MetricsOut
+	sc.MetricsOut = paths.ScaleoutMetricsOut
 	// The chaos spec stays after the paper figures: figure goldens pin
-	// their print order, and non-paper experiments (chaos, breakdown)
-	// append after them.
+	// their print order, and non-paper experiments (chaos, breakdown,
+	// scaleout) append after them.
 	return []Spec{
 		Fig1Spec(fig1Requests, 1),
 		Fig5Spec(),
@@ -83,6 +101,7 @@ func StandardSpecsObs(quick bool, traceOut, metricsOut string) []Spec {
 		ScalabilitySpec(DefaultScalabilityConfig()),
 		ChaosSpec(chaos),
 		BreakdownSpec(bd),
+		ScaleoutSpec(sc),
 	}
 }
 

@@ -335,7 +335,7 @@ func newSNICKVS(cfg KVSConfig) *snicKVS {
 			panic("snic prewarm: missing key")
 		}
 		before := s.cache.Len()
-		s.cache.Put(string(key), v)
+		s.cache.PutBytes(key, v)
 		if s.cache.Len() == before {
 			break // capacity reached
 		}
@@ -369,7 +369,7 @@ func (s *snicKVS) callOn(_ int, now sim.Time, req kvs.Request) (kvs.Response, si
 			resp = r
 			if r.Status == kvs.StatusOK {
 				// The cache retains the value: copy it out of the scratch.
-				s.cache.Put(string(req.Key), append([]byte(nil), r.Val...))
+				s.cache.PutBytes(req.Key, append([]byte(nil), r.Val...))
 			}
 		}
 	case kvs.OpPut:
@@ -378,7 +378,7 @@ func (s *snicKVS) callOn(_ int, now sim.Time, req kvs.Request) (kvs.Response, si
 		for range trace {
 			t = s.snic.HostAccess(t, 64, 1)
 		}
-		s.cache.Put(string(req.Key), append([]byte(nil), req.Val...))
+		s.cache.PutBytes(req.Key, append([]byte(nil), req.Val...))
 		resp = r
 	default:
 		resp = kvs.Response{Status: kvs.StatusError}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rambda/internal/obs"
+	"rambda/internal/runner"
+	"rambda/internal/scaleout"
+	"rambda/internal/sim"
+)
+
+// The scaleout experiment is not a paper figure: it takes the chainrep
+// building block multi-machine, the way Sec. VII sketches RAMBDA pods
+// composing into a cluster. A consistent-hash ring partitions the key
+// space across N shard chains, clients route through possibly-stale
+// shard maps, and per-shard hot-key sketches drive live migrations
+// (snapshot copy + catch-up log + atomic map flip) when the Zipf skew
+// concentrates load. The sweep reports goodput and tail latency per
+// (shards x skew) point alongside the migration counters and the
+// per-window load-imbalance ratio before and after rebalancing.
+
+// ScaleoutConfig sizes the sharded-cluster sweep.
+type ScaleoutConfig struct {
+	// Shards and Thetas span the sweep grid; theta 0 is the uniform
+	// distribution, larger is more skewed (YCSB Zipf, item 0 hottest).
+	Shards []int
+	Thetas []float64
+	// Keys is the preloaded key universe; ValueBytes the payload per
+	// pair; Requests the measured request count per point; PutPercent
+	// the write share of the mix; Frontends the number of client-side
+	// routers cycling through the workload.
+	Keys       int
+	ValueBytes int
+	Requests   int
+	PutPercent int
+	Frontends  int
+	Seed       uint64
+	Parallel   int // sweep-point workers; 0 = runner default
+
+	// MetricsOut, when non-empty, exports every point's metrics
+	// registry (imbalance gauge, migration counters, per-shard served
+	// counts over virtual time) as one JSON file after the jobs have
+	// run. Same seed, same file, byte for byte.
+	MetricsOut string
+}
+
+// DefaultScaleoutConfig returns the full-size sweep.
+func DefaultScaleoutConfig() ScaleoutConfig {
+	return ScaleoutConfig{
+		Shards:     []int{2, 4, 8},
+		Thetas:     []float64{0, 0.90, 0.99},
+		Keys:       1 << 16,
+		ValueBytes: 46,
+		Requests:   24000,
+		PutPercent: 10,
+		Frontends:  8,
+		Seed:       29,
+	}
+}
+
+// scaleoutMetricsInterval is the virtual-time ticker period for
+// registry samples.
+const scaleoutMetricsInterval = 5 * sim.Millisecond
+
+// ScaleoutRow is one (shards, skew) point of the sweep.
+type ScaleoutRow struct {
+	Shards       int
+	Theta        float64
+	Goodput      float64 // successful requests/sec of virtual time
+	Avg, P99     sim.Time
+	Migrations   int64
+	MovedKeys    int64
+	StaleRetries int64
+	ImbFirst     float64 // max/mean shard load, first detection window
+	ImbLast      float64 // max/mean shard load, final detection window
+}
+
+// scaleoutDist renders a theta as a distribution label.
+func scaleoutDist(theta float64) string {
+	if theta == 0 {
+		return "uniform"
+	}
+	return fmt.Sprintf("zipf%.2f", theta)
+}
+
+// scaleoutCluster maps an experiment point onto a cluster config: the
+// chainrep testbed parameters, stores sized for the point's share of
+// the key universe (double headroom for ring imbalance plus migrated
+// hot keys), and a detection policy of ~12 windows per run.
+func scaleoutCluster(cfg ScaleoutConfig, shards int, seed uint64) scaleout.Config {
+	ccfg := scaleout.DefaultConfig()
+	ccfg.Shards = shards
+	ccfg.Seed = seed
+	ccfg.SlotsPerShard = 2*cfg.Keys/shards + 1024
+	ccfg.RebalanceEvery = cfg.Requests / 12
+	ccfg.ImbalanceThreshold = 1.15
+	ccfg.HotKeysPerMove = 8
+	ccfg.MaxMigrations = 16
+	return ccfg
+}
+
+// scaleoutPoint preloads one cluster and drives the skewed closed-loop
+// workload through rotating frontends. reg may be nil (the fast path);
+// when set, the cluster's gauges are sampled on the virtual-time ticker
+// so the export shows the imbalance dropping as migrations land.
+func scaleoutPoint(cfg ScaleoutConfig, shards int, theta float64, point int,
+	reg *obs.Registry) ScaleoutRow {
+	seed := runner.Seed("scaleout", point)
+	c := scaleout.New(scaleoutCluster(cfg, shards, seed))
+	if reg != nil {
+		c.RegisterMetrics(reg, "scaleout")
+		reg.SetInterval(scaleoutMetricsInterval)
+	}
+
+	var key []byte
+	val := make([]byte, cfg.ValueBytes)
+	now := sim.Time(0)
+	for i := 0; i < cfg.Keys; i++ {
+		key = appendKVSKey(key[:0], i)
+		binary.LittleEndian.PutUint64(val, uint64(i))
+		now = c.Preload(now, key, val)
+	}
+	t0 := now
+
+	wrng := sim.NewRNG(runner.SubSeed(seed, 1))
+	var zipf *sim.Zipf
+	if theta > 0 {
+		zipf = sim.NewZipf(wrng, uint64(cfg.Keys), theta)
+	}
+	fes := make([]*scaleout.Frontend, cfg.Frontends)
+	for i := range fes {
+		fes[i] = c.NewFrontend()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		var k int
+		if zipf != nil {
+			k = int(zipf.Next())
+		} else {
+			k = wrng.Intn(cfg.Keys)
+		}
+		key = appendKVSKey(key[:0], k)
+		fe := fes[i%len(fes)]
+		if wrng.Intn(100) < cfg.PutPercent {
+			binary.LittleEndian.PutUint64(val, uint64(i))
+			now = fe.Put(now, key, val)
+		} else {
+			_, done := fe.Get(now, key)
+			now = done
+		}
+	}
+	if reg != nil {
+		reg.SnapshotNow(now)
+	}
+
+	st := c.Stats()
+	hist := c.MergedLatency()
+	goodput := 0.0
+	if now > t0 {
+		goodput = float64(cfg.Requests) / (float64(now-t0) / float64(sim.Second))
+	}
+	return ScaleoutRow{
+		Shards:       shards,
+		Theta:        theta,
+		Goodput:      goodput,
+		Avg:          hist.Mean(),
+		P99:          hist.P99(),
+		Migrations:   st.Migrations,
+		MovedKeys:    st.MovedKeys,
+		StaleRetries: st.StaleRetries,
+		ImbFirst:     st.FirstImbalance,
+		ImbLast:      st.LastImbalance,
+	}
+}
+
+// scaleoutPlan enumerates the (shards x theta) grid as runner jobs.
+// Registries are slot-indexed like the rows, so the export is identical
+// for every worker count.
+func scaleoutPlan(cfg ScaleoutConfig) (func() *Table, []runner.Job) {
+	type point struct {
+		shards int
+		theta  float64
+	}
+	var points []point
+	for _, s := range cfg.Shards {
+		for _, th := range cfg.Thetas {
+			points = append(points, point{s, th})
+		}
+	}
+	rows := make([]ScaleoutRow, len(points))
+	var regs []*obs.Registry
+	if cfg.MetricsOut != "" {
+		regs = make([]*obs.Registry, len(points))
+	}
+	jobs := runner.Jobs("scaleout", len(points),
+		func(i int) string {
+			return fmt.Sprintf("shards=%d/%s", points[i].shards, scaleoutDist(points[i].theta))
+		},
+		func(i int) {
+			var reg *obs.Registry
+			if regs != nil {
+				regs[i] = obs.NewRegistry()
+				reg = regs[i]
+			}
+			rows[i] = scaleoutPoint(cfg, points[i].shards, points[i].theta, i, reg)
+		})
+	return func() *Table { return scaleoutRender(cfg, rows, regs) }, jobs
+}
+
+func scaleoutRender(cfg ScaleoutConfig, rows []ScaleoutRow, regs []*obs.Registry) *Table {
+	t := &Table{
+		ID:    "scaleout",
+		Title: "Sharded scale-out KVS: consistent hashing + hot-key migration",
+		Columns: []string{"shards", "dist", "goodput", "avg", "p99",
+			"migrations", "moved", "stale-retries", "imb-first", "imb-last"},
+		Notes: []string{
+			"imbalance = max/mean requests per shard within a detection window; migration triggers above 1.15",
+			"stale retries: requests re-routed after a map refresh; each executes exactly once",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Shards),
+			scaleoutDist(r.Theta),
+			fmt.Sprintf("%.1f Kops", r.Goodput/1e3),
+			usStr(r.Avg),
+			usStr(r.P99),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.MovedKeys),
+			fmt.Sprintf("%d", r.StaleRetries),
+			f2(r.ImbFirst),
+			f2(r.ImbLast),
+		)
+	}
+	if cfg.MetricsOut != "" {
+		mj := make([]obs.MetricsJSON, len(regs))
+		for i, reg := range regs {
+			mj[i] = obs.MetricsJSON{Name: fmt.Sprintf("shards=%d/%s",
+				rows[i].Shards, scaleoutDist(rows[i].Theta)), Registry: reg}
+		}
+		if err := obs.WriteMetricsFile(cfg.MetricsOut, mj); err != nil {
+			panic(fmt.Sprintf("scaleout: write metrics: %v", err))
+		}
+		// Constant note (no path): the rendered table must stay
+		// byte-identical across runs that export to different files.
+		t.Notes = append(t.Notes, "metrics exported (-scaleout-metrics-out)")
+	}
+	return t
+}
+
+// ScaleoutSpec exposes the sweep for a shared pool.
+func ScaleoutSpec(cfg ScaleoutConfig) Spec {
+	table, jobs := scaleoutPlan(cfg)
+	return Spec{ID: "scaleout", Jobs: jobs, Table: table}
+}
+
+// ScaleoutTable runs the whole sweep and renders it.
+func ScaleoutTable(cfg ScaleoutConfig) *Table {
+	return RunSpec(cfg.Parallel, ScaleoutSpec(cfg))
+}

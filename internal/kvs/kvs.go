@@ -116,6 +116,12 @@ func hashKey(key []byte) uint64 {
 	return h.Sum64()
 }
 
+// Hash64 exposes the store's 64-bit FNV-1a key hash. Cluster-level
+// routing (internal/scaleout's consistent-hash ring and hot-key
+// counters) shards on exactly the hash the index uses, so a key's
+// placement decision and its bucket choice never disagree.
+func Hash64(key []byte) uint64 { return hashKey(key) }
+
 func (s *Store) bucketAddr(h uint64) memspace.Addr {
 	return s.index.Base + memspace.Addr((h&s.mask)*bucketBytes)
 }

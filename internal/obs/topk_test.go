@@ -1,0 +1,81 @@
+package obs
+
+import "testing"
+
+func TestTopKTracksHeavyHitters(t *testing.T) {
+	tk := NewTopK(4)
+	for i := 0; i < 100; i++ {
+		tk.Observe(1)
+	}
+	for i := 0; i < 50; i++ {
+		tk.Observe(2)
+	}
+	for i := 0; i < 10; i++ {
+		tk.Observe(3)
+	}
+	// A long tail of singletons churns the low slots but must never
+	// evict the heavy hitters (space-saving guarantee: any key with
+	// frequency > observed/k stays tracked; here 100 and 50 both clear
+	// the 180/4 = 45 threshold).
+	for i := 0; i < 20; i++ {
+		tk.Observe(uint64(1000 + i))
+	}
+	if tk.Observed() != 180 {
+		t.Fatalf("observed %d, want 180", tk.Observed())
+	}
+	top := tk.Top(nil)
+	if len(top) != 4 {
+		t.Fatalf("tracking %d keys, want 4", len(top))
+	}
+	if top[0].Key != 1 || top[0].Count < 100 {
+		t.Fatalf("hottest entry %+v, want key 1 with count >= 100", top[0])
+	}
+	if top[1].Key != 2 || top[1].Count < 50 {
+		t.Fatalf("second entry %+v, want key 2 with count >= 50", top[1])
+	}
+}
+
+func TestTopKDeterministicTieBreaks(t *testing.T) {
+	// Two independent sketches fed the same stream agree exactly,
+	// including which singleton survives the final replacement churn.
+	feed := func() []TopKEntry {
+		tk := NewTopK(2)
+		seq := []uint64{5, 5, 9, 7, 3, 7, 11, 3}
+		for _, k := range seq {
+			tk.Observe(k)
+		}
+		return tk.Top(nil)
+	}
+	a, b := feed(), feed()
+	if len(a) != len(b) {
+		t.Fatalf("sketch sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Ties sort by key ascending.
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Count < a[i].Count ||
+			(a[i-1].Count == a[i].Count && a[i-1].Key > a[i].Key) {
+			t.Fatalf("entries out of order: %+v", a)
+		}
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	tk := NewTopK(3)
+	tk.Observe(1)
+	tk.Observe(1)
+	tk.Observe(2)
+	tk.Reset()
+	if tk.Observed() != 0 || len(tk.Top(nil)) != 0 {
+		t.Fatalf("reset left state: observed=%d top=%v", tk.Observed(), tk.Top(nil))
+	}
+	tk.Observe(7)
+	top := tk.Top(nil)
+	if len(top) != 1 || top[0] != (TopKEntry{Key: 7, Count: 1}) {
+		t.Fatalf("post-reset observe: %+v", top)
+	}
+}

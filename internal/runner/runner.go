@@ -186,3 +186,18 @@ func Seed(experiment string, point int) uint64 {
 	}
 	return h
 }
+
+// SubSeed derives an independent stream seed below a point-level seed
+// with the same FNV-1a fold — one per simulated entity *inside* a sweep
+// point (the scale-out cluster seeds one RNG per shard this way). The
+// fold keeps sibling streams disjoint by construction, so adding or
+// removing entities never perturbs the others' draws.
+func SubSeed(seed uint64, sub int) uint64 {
+	const prime64 = 1099511628211
+	h := seed
+	for i := 0; i < 8; i++ {
+		h ^= uint64(sub>>(8*i)) & 0xff
+		h *= prime64
+	}
+	return h
+}

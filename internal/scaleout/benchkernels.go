@@ -1,0 +1,72 @@
+package scaleout
+
+import "rambda/internal/kvs"
+
+// RouteBench is the reusable state of the ShardRouteHotPath micro
+// benchmark: an 8-shard ring, a current map with a handful of hot keys
+// overridden, and a stale map one version behind, plus the key-format
+// scratch. Step is the measured unit; after a warm-up call it performs
+// zero allocations (guarded by a testing.AllocsPerRun test).
+type RouteBench struct {
+	cur   *ShardMap
+	stale *ShardMap
+	key   []byte
+}
+
+// routeBenchKeys is the key universe Step cycles through; a power of
+// two so the index mask is free.
+const routeBenchKeys = 1024
+
+// NewRouteBench builds the benchmark state.
+func NewRouteBench() *RouteBench {
+	ring := NewRing(8, 64, 42)
+	stale := NewShardMap(ring)
+	// Override the first few keys to a fixed shard, so the stale map
+	// actually mis-routes part of the key space and the retry branch is
+	// exercised, not just predicted away.
+	hot := make([]uint64, 0, 8)
+	var key []byte
+	for i := 0; i < 8; i++ {
+		key = appendBenchKey(key[:0], i)
+		hot = append(hot, kvs.Hash64(key))
+	}
+	return &RouteBench{cur: stale.withOverrides(hot, 0), stale: stale}
+}
+
+// Step runs one iteration of the routing hot path: format the key,
+// hash it, route through the (stale) client map, detect the ownership
+// mismatch, and re-route through the current map — the exact client
+//-side work of Frontend.do minus the simulated chain.
+func (b *RouteBench) Step(i int) uint64 {
+	b.key = appendBenchKey(b.key[:0], i%routeBenchKeys)
+	h := kvs.Hash64(b.key)
+	sid := b.stale.Shard(h)
+	if cs := b.cur.Shard(h); cs != sid {
+		sid = cs // stale-map retry
+	}
+	return uint64(sid)
+}
+
+// BenchShardRouteHotPath runs the routing hot path n times and returns
+// a checksum so the work cannot be optimized away — the micro kernel
+// cmd/rambda-bench registers.
+func BenchShardRouteHotPath(n int) uint64 {
+	b := NewRouteBench()
+	var sink uint64
+	for i := 0; i < n; i++ {
+		sink += b.Step(i)
+	}
+	return sink
+}
+
+// appendBenchKey appends the experiments' key format ("user" + 14-digit
+// zero-padded decimal) onto dst without allocating.
+func appendBenchKey(dst []byte, i int) []byte {
+	dst = append(dst, "user"...)
+	var digits [14]byte
+	for p := len(digits) - 1; p >= 0; p-- {
+		digits[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(dst, digits[:]...)
+}

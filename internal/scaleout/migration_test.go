@@ -1,0 +1,133 @@
+package scaleout
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rambda/internal/chainrep"
+	"rambda/internal/sim"
+)
+
+// TestMigrationUnderSkewedWrites is the live-migration correctness
+// check: a 70%-hot workload with a 50/50 GET/PUT mix drives hot-key
+// migrations while writes race the snapshot copy (CopyChunk 1 spreads
+// each copy over several request completions). Every read is compared
+// against a model store, so a lost write, a duplicated apply with stale
+// bytes, or a read served from a half-migrated shard all fail
+// immediately. Afterwards the replicas of every shard must be
+// state-equal and a stale frontend must reach every moved key through
+// exactly the reject-refresh-retry path.
+func TestMigrationUnderSkewedWrites(t *testing.T) {
+	cfg := testClusterConfig()
+	c := New(cfg)
+	const keys = 512
+	now := preloadN(c, keys)
+
+	model := make([]uint64, keys)
+	for i := range model {
+		model[i] = uint64(i)
+	}
+
+	fe := c.NewFrontend()
+	stale := c.NewFrontend() // keeps the version-1 map until it collides
+	rng := sim.NewRNG(99)
+	var key []byte
+	val := make([]byte, 46)
+	seq := uint64(1 << 32)
+	sawMidMigrationRead := false
+	for i := 0; i < 4000; i++ {
+		k := rng.Intn(keys)
+		if rng.Intn(10) < 7 {
+			k = rng.Intn(4)
+		}
+		key = appendBenchKey(key[:0], k)
+		if rng.Intn(2) == 0 {
+			seq++
+			binary.LittleEndian.PutUint64(val, seq)
+			now = fe.Put(now, key, val)
+			model[k] = seq
+		} else {
+			if c.MigrationActive() {
+				sawMidMigrationRead = true
+			}
+			got, done := fe.Get(now, key)
+			if v := binary.LittleEndian.Uint64(got); v != model[k] {
+				t.Fatalf("request %d: key %d read %#x, want %#x (lost or stale write)", i, k, v, model[k])
+			}
+			now = done
+		}
+	}
+
+	st := c.Stats()
+	if st.Migrations == 0 || st.MovedKeys == 0 {
+		t.Fatalf("workload triggered no migration: %+v", st)
+	}
+	if !sawMidMigrationRead {
+		t.Fatal("no read ever raced a migration; the interleaving is untested")
+	}
+	if st.LastImbalance >= st.FirstImbalance {
+		t.Fatalf("imbalance did not drop: first %.3f, last %.3f", st.FirstImbalance, st.LastImbalance)
+	}
+	if st.MapVersion != 1+uint64(st.Migrations) {
+		t.Fatalf("map version %d after %d migrations", st.MapVersion, st.Migrations)
+	}
+
+	// The stale frontend still routes by the pre-migration map: its
+	// first collision with a moved key pays one reject + map refresh,
+	// after which every key — moved or not — reads correctly.
+	if stale.MapVersion() != 1 {
+		t.Fatalf("stale frontend refreshed prematurely to version %d", stale.MapVersion())
+	}
+	before := st.StaleRetries
+	for k := 0; k < keys; k++ {
+		key = appendBenchKey(key[:0], k)
+		got, done := stale.Get(now, key)
+		if v := binary.LittleEndian.Uint64(got); v != model[k] {
+			t.Fatalf("stale frontend: key %d read %#x, want %#x", k, v, model[k])
+		}
+		now = done
+	}
+	if retries := c.Stats().StaleRetries - before; retries != 1 {
+		t.Fatalf("stale frontend paid %d retries over the key sweep, want exactly 1", retries)
+	}
+	if stale.MapVersion() != st.MapVersion {
+		t.Fatalf("stale frontend at version %d after refresh, want %d", stale.MapVersion(), st.MapVersion)
+	}
+
+	// Migration installs went down each destination chain like regular
+	// replicated writes: replicas must agree byte-for-byte.
+	n := cfg.SlotsPerShard * cfg.SlotBytes
+	for i := 0; i < c.Shards(); i++ {
+		ch := c.Chain(i)
+		if !chainrep.StateEqual(ch.Nodes[0].Store, ch.Nodes[1].Store, n) {
+			t.Fatalf("shard %d: replicas diverged after migration", i)
+		}
+	}
+}
+
+// TestMigrationDisabledKeepsImbalance pins the control: with
+// RebalanceEvery 0 the same skewed workload never migrates and the
+// authoritative map never moves past version 1.
+func TestMigrationDisabledKeepsImbalance(t *testing.T) {
+	cfg := testClusterConfig()
+	cfg.RebalanceEvery = 0
+	c := New(cfg)
+	const keys = 512
+	now := preloadN(c, keys)
+	fe := c.NewFrontend()
+	rng := sim.NewRNG(99)
+	var key []byte
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(keys)
+		if rng.Intn(10) < 7 {
+			k = rng.Intn(4)
+		}
+		key = appendBenchKey(key[:0], k)
+		_, done := fe.Get(now, key)
+		now = done
+	}
+	st := c.Stats()
+	if st.Migrations != 0 || st.MapVersion != 1 || st.StaleRetries != 0 {
+		t.Fatalf("migration ran while disabled: %+v", st)
+	}
+}

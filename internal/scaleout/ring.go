@@ -1,0 +1,134 @@
+// Package scaleout models the first genuinely multi-machine scenario:
+// a sharded key-value cluster in which every shard is a chain-replicated
+// store (internal/chainrep), keys are partitioned by a consistent-hash
+// ring with virtual nodes, clients route through versioned shard maps
+// with stale-map detection and retry, and per-shard hot-key counters
+// (obs.TopK) drive live migration of hot keys — snapshot copy, redo-log
+// catch-up, then an atomic map flip.
+//
+// Everything is deterministic by construction: one cluster is driven
+// from one goroutine (a runner sweep point), every stochastic choice
+// draws from an explicitly seeded RNG owned by the workload, and all
+// internal tie-breaks (ring sort, hot-key ranking, shard selection) are
+// by value, never by map iteration order.
+package scaleout
+
+import "sort"
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is a consistent-hash ring: each shard owns VNodes points placed
+// by a deterministic mix of (seed, shard, vnode), and a key hashes to
+// the first point clockwise from it. Virtual nodes smooth the per-shard
+// arc share, so the uniform-workload load split is near-even.
+type Ring struct {
+	points []ringPoint
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-avalanched mixing
+// of the vnode identity into a ring position.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewRing places vnodes points per shard from the given seed.
+func NewRing(shards, vnodes int, seed uint64) *Ring {
+	if shards <= 0 || vnodes <= 0 {
+		panic("scaleout: ring needs shards >= 1 and vnodes >= 1")
+	}
+	r := &Ring{points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := mix64(seed ^ mix64(uint64(s)<<32|uint64(v)))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	// Sort by position; ties (vanishingly rare) break by shard id so the
+	// ring is a pure function of (shards, vnodes, seed).
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Lookup returns the shard owning hash h: the first ring point at or
+// clockwise after h, wrapping at the top.
+func (r *Ring) Lookup(h uint64) int {
+	pts := r.points
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(pts) {
+		lo = 0
+	}
+	return pts[lo].shard
+}
+
+// Points reports the ring size (shards x vnodes).
+func (r *Ring) Points() int { return len(r.points) }
+
+// ShardMap is one immutable version of the cluster's routing state: the
+// ring plus per-key overrides for hot keys migrated off their ring
+// home. The cluster publishes a new map on every migration flip
+// (copy-on-write), so client frontends holding an old pointer keep a
+// consistent — merely stale — view until they refresh.
+type ShardMap struct {
+	// Version increments on every flip; frontends compare it against
+	// the authoritative map's when a shard rejects their request.
+	Version   uint64
+	ring      *Ring
+	overrides map[uint64]int // key hash -> owning shard
+}
+
+// NewShardMap wraps a ring as version-1 routing state with no
+// overrides.
+func NewShardMap(ring *Ring) *ShardMap {
+	return &ShardMap{Version: 1, ring: ring}
+}
+
+// Shard routes key hash h: overrides first, ring otherwise.
+func (m *ShardMap) Shard(h uint64) int {
+	if m.overrides != nil {
+		if s, ok := m.overrides[h]; ok {
+			return s
+		}
+	}
+	return m.ring.Lookup(h)
+}
+
+// Overrides reports the number of hot-key overrides in this version.
+func (m *ShardMap) Overrides() int { return len(m.overrides) }
+
+// withOverrides returns the next map version with keys rerouted to
+// shard dst. The receiver is never mutated — that is the atomic flip:
+// in-flight holders of the old pointer keep the old routing.
+func (m *ShardMap) withOverrides(keys []uint64, dst int) *ShardMap {
+	next := &ShardMap{
+		Version:   m.Version + 1,
+		ring:      m.ring,
+		overrides: make(map[uint64]int, len(m.overrides)+len(keys)),
+	}
+	for k, s := range m.overrides {
+		next.overrides[k] = s
+	}
+	for _, k := range keys {
+		next.overrides[k] = dst
+	}
+	return next
+}

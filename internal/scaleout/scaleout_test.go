@@ -1,0 +1,190 @@
+package scaleout
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"rambda/internal/kvs"
+	"rambda/internal/sim"
+)
+
+func TestRingBalancedAndDeterministic(t *testing.T) {
+	r1 := NewRing(8, 64, 7)
+	r2 := NewRing(8, 64, 7)
+	if r1.Points() != 8*64 {
+		t.Fatalf("ring has %d points, want %d", r1.Points(), 8*64)
+	}
+	const probes = 100000
+	counts := make([]int, 8)
+	var key []byte
+	for i := 0; i < probes; i++ {
+		key = appendBenchKey(key[:0], i)
+		h := kvs.Hash64(key)
+		s1, s2 := r1.Lookup(h), r2.Lookup(h)
+		if s1 != s2 {
+			t.Fatalf("same seed, different routing for key %d: %d vs %d", i, s1, s2)
+		}
+		counts[s1]++
+	}
+	mean := probes / 8
+	for s, n := range counts {
+		if n < mean/2 || n > mean*2 {
+			t.Fatalf("shard %d owns %d of %d keys; ring badly imbalanced: %v", s, n, probes, counts)
+		}
+	}
+}
+
+func TestShardMapFlipIsCopyOnWrite(t *testing.T) {
+	m1 := NewShardMap(NewRing(4, 64, 1))
+	h := kvs.Hash64([]byte("user00000000000000"))
+	home := m1.Shard(h)
+	dst := (home + 1) % 4
+	m2 := m1.withOverrides([]uint64{h}, dst)
+	if m2.Version != m1.Version+1 {
+		t.Fatalf("flip version %d, want %d", m2.Version, m1.Version+1)
+	}
+	if got := m2.Shard(h); got != dst {
+		t.Fatalf("override routes to %d, want %d", got, dst)
+	}
+	if got := m1.Shard(h); got != home {
+		t.Fatalf("old map mutated: routes to %d, want %d", got, home)
+	}
+	if m1.Overrides() != 0 || m2.Overrides() != 1 {
+		t.Fatalf("override counts %d/%d, want 0/1", m1.Overrides(), m2.Overrides())
+	}
+}
+
+// testClusterConfig shrinks the default cluster so unit tests exercise
+// migration within a few thousand requests.
+func testClusterConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.SlotsPerShard = 2048
+	cfg.LogEntries = 512
+	cfg.RebalanceEvery = 250
+	cfg.ImbalanceThreshold = 1.1
+	cfg.HotKeysPerMove = 4
+	cfg.CopyChunk = 1 // one key per completion: copies interleave with writes
+	return cfg
+}
+
+// preloadN serially loads keys 0..n-1 with value payload uint64(i) and
+// returns the load's completion time.
+func preloadN(c *Cluster, n int) sim.Time {
+	var key []byte
+	val := make([]byte, 46)
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		key = appendBenchKey(key[:0], i)
+		binary.LittleEndian.PutUint64(val, uint64(i))
+		now = c.Preload(now, key, val)
+	}
+	return now
+}
+
+func TestClusterPutGetRoundTrip(t *testing.T) {
+	cfg := testClusterConfig()
+	cfg.RebalanceEvery = 0 // routing only
+	c := New(cfg)
+	const keys = 64
+	now := preloadN(c, keys)
+	fe := c.NewFrontend()
+	var key []byte
+	val := make([]byte, 46)
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		got, done := fe.Get(now, key)
+		if done <= now {
+			t.Fatalf("key %d: completion %v not after issue %v", i, done, now)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != uint64(i) {
+			t.Fatalf("key %d: read %d after preload", i, v)
+		}
+		now = done
+	}
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		binary.LittleEndian.PutUint64(val, uint64(i+1000))
+		now = fe.Put(now, key, val)
+	}
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		got, done := fe.Get(now, key)
+		if v := binary.LittleEndian.Uint64(got); v != uint64(i+1000) {
+			t.Fatalf("key %d: read %d after put of %d", i, v, i+1000)
+		}
+		now = done
+	}
+	if st := c.Stats(); st.Requests != 3*keys || st.StaleRetries != 0 {
+		t.Fatalf("stats %+v, want %d requests and no stale retries", st, 3*keys)
+	}
+}
+
+// clusterRunStats drives a fixed skewed workload and returns everything
+// observable about the run — the determinism test compares two of
+// these, and the migration test asserts on one.
+func clusterRunStats(seed uint64) (Stats, string) {
+	cfg := testClusterConfig()
+	c := New(cfg)
+	const keys = 512
+	now := preloadN(c, keys)
+	fe := c.NewFrontend()
+	rng := sim.NewRNG(seed)
+	var key []byte
+	val := make([]byte, 46)
+	seq := uint64(1 << 32)
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(keys)
+		if rng.Intn(10) < 7 {
+			k = rng.Intn(4) // 70% of traffic on 4 hot keys
+		}
+		key = appendBenchKey(key[:0], k)
+		if rng.Intn(2) == 0 {
+			seq++
+			binary.LittleEndian.PutUint64(val, seq)
+			now = fe.Put(now, key, val)
+		} else {
+			_, done := fe.Get(now, key)
+			now = done
+		}
+	}
+	return c.Stats(), c.MergedLatency().String()
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	st1, h1 := clusterRunStats(99)
+	st2, h2 := clusterRunStats(99)
+	if fmt.Sprintf("%+v", st1) != fmt.Sprintf("%+v", st2) {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", st1, st2)
+	}
+	if h1 != h2 {
+		t.Fatalf("same seed, different latency distribution:\n%s\n%s", h1, h2)
+	}
+}
+
+func TestRouteBenchSmoke(t *testing.T) {
+	if BenchShardRouteHotPath(1000) == 0 {
+		t.Fatal("routing checksum is zero; kernel did no work")
+	}
+}
+
+func TestRouteBenchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are distorted under the race detector")
+	}
+	b := NewRouteBench()
+	var sink uint64
+	sink += b.Step(0) // grow the key scratch once
+	i := 0
+	n := testing.AllocsPerRun(500, func() {
+		sink += b.Step(i)
+		i++
+	})
+	if n != 0 {
+		t.Fatalf("routing hot path: %.2f allocs/op in steady state, want 0", n)
+	}
+	if sink == ^uint64(0) {
+		t.Fatal("impossible checksum") // keep sink live
+	}
+}

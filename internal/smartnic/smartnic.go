@@ -7,6 +7,7 @@ package smartnic
 
 import (
 	"container/list"
+	"unsafe"
 
 	"rambda/internal/interconnect"
 	"rambda/internal/memdev"
@@ -127,6 +128,14 @@ type LRUCache struct {
 	order    *list.List // front = most recent; values are *cacheEntry
 	byKey    map[string]*list.Element
 
+	// Key interning: byte-slice keys are copied once per distinct key
+	// into append-only arena blocks; `interned` dedups so re-inserting
+	// a key the cache has ever seen (including after eviction) reuses
+	// the same string header and bytes. Arena memory is bounded by the
+	// distinct-key universe, not by insert traffic.
+	interned map[string]string
+	arena    keyArena
+
 	hits, misses int64
 }
 
@@ -134,6 +143,38 @@ type cacheEntry struct {
 	key  string
 	val  []byte
 	size int64
+}
+
+// keyArena stores interned key bytes in append-only blocks. Blocks are
+// never reallocated (append only ever fills spare capacity), so the
+// unsafe.String headers handed out stay valid for the cache's lifetime.
+type keyArena struct {
+	blocks [][]byte
+}
+
+const arenaBlockBytes = 64 << 10
+
+func (a *keyArena) intern(key []byte) string {
+	n := len(key)
+	if len(a.blocks) == 0 {
+		a.grow(n)
+	}
+	b := &a.blocks[len(a.blocks)-1]
+	if cap(*b)-len(*b) < n {
+		a.grow(n)
+		b = &a.blocks[len(a.blocks)-1]
+	}
+	off := len(*b)
+	*b = append(*b, key...)
+	return unsafe.String(&(*b)[off], n)
+}
+
+func (a *keyArena) grow(need int) {
+	size := arenaBlockBytes
+	if need > size {
+		size = need
+	}
+	a.blocks = append(a.blocks, make([]byte, 0, size))
 }
 
 // NewLRUCache builds a byte-bounded LRU cache.
@@ -145,12 +186,13 @@ func NewLRUCache(capacityBytes int64) *LRUCache {
 		capacity: capacityBytes,
 		order:    list.New(),
 		byKey:    make(map[string]*list.Element),
+		interned: make(map[string]string),
 	}
 }
 
-func entrySize(key string, val []byte) int64 {
+func entrySize(keyLen int, val []byte) int64 {
 	// Key + value + bookkeeping overhead (hash entry).
-	return int64(len(key) + len(val) + 32)
+	return int64(keyLen + len(val) + 32)
 }
 
 // Get returns the cached value and refreshes recency.
@@ -178,20 +220,32 @@ func (c *LRUCache) GetBytes(key []byte) ([]byte, bool) {
 	return nil, false
 }
 
-// Put inserts or refreshes a value, evicting LRU entries to fit.
+// Put inserts or refreshes a value, evicting LRU entries to fit. It is
+// the string-keyed convenience form of PutBytes (same interning, no
+// per-insert key copy beyond the one-time arena intern).
 func (c *LRUCache) Put(key string, val []byte) {
-	size := entrySize(key, val)
+	c.PutBytes(unsafe.Slice(unsafe.StringData(key), len(key)), val)
+}
+
+// PutBytes inserts or refreshes a value keyed by raw bytes, evicting
+// LRU entries to fit. The key path never allocates in steady state:
+// resident-key refreshes use the compiler's non-allocating
+// []byte→string map lookup, and re-inserting any previously seen key
+// (including one evicted since) reuses its interned string.
+func (c *LRUCache) PutBytes(key, val []byte) {
+	size := entrySize(len(key), val)
 	if size > c.capacity {
 		return // larger than the whole cache: uncacheable
 	}
-	if el, ok := c.byKey[key]; ok {
+	if el, ok := c.byKey[string(key)]; ok {
 		e := el.Value.(*cacheEntry)
 		c.used += size - e.size
 		e.val, e.size = val, size
 		c.order.MoveToFront(el)
 	} else {
-		el := c.order.PushFront(&cacheEntry{key: key, val: val, size: size})
-		c.byKey[key] = el
+		k := c.internKey(key)
+		el := c.order.PushFront(&cacheEntry{key: k, val: val, size: size})
+		c.byKey[k] = el
 		c.used += size
 	}
 	for c.used > c.capacity {
@@ -201,6 +255,17 @@ func (c *LRUCache) Put(key string, val []byte) {
 		delete(c.byKey, e.key)
 		c.used -= e.size
 	}
+}
+
+// internKey returns the canonical owned string for a byte key, copying
+// it into the arena the first time the key is ever inserted.
+func (c *LRUCache) internKey(key []byte) string {
+	if k, ok := c.interned[string(key)]; ok {
+		return k
+	}
+	k := c.arena.intern(key)
+	c.interned[k] = k
+	return k
 }
 
 // Invalidate drops a key (e.g. on a PUT that must reach host memory).

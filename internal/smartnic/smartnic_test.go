@@ -169,6 +169,74 @@ func TestLRUCapacityInvariant(t *testing.T) {
 	}
 }
 
+func TestLRUInterningOwnsKeyBytes(t *testing.T) {
+	// PutBytes must copy the key: the caller's buffer is scratch and is
+	// rewritten per request in the experiment hot paths.
+	c := NewLRUCache(1 << 10)
+	buf := []byte("key-a")
+	c.PutBytes(buf, []byte("va"))
+	copy(buf, "key-b")
+	c.PutBytes(buf, []byte("vb"))
+	if v, ok := c.Get("key-a"); !ok || string(v) != "va" {
+		t.Fatalf("key-a=%q ok=%v (intern did not copy the key)", v, ok)
+	}
+	if v, ok := c.GetBytes([]byte("key-b")); !ok || string(v) != "vb" {
+		t.Fatalf("key-b=%q ok=%v", v, ok)
+	}
+}
+
+func TestLRUInternDedupsAcrossEviction(t *testing.T) {
+	// Each entry is 5+3+32 = 40 bytes: capacity 80 holds two. Cycling
+	// three keys evicts and re-inserts each repeatedly; the interning
+	// table must stay at the distinct-key count instead of growing with
+	// insert traffic.
+	c := NewLRUCache(80)
+	keys := [][]byte{[]byte("key-a"), []byte("key-b"), []byte("key-c")}
+	for i := 0; i < 300; i++ {
+		c.PutBytes(keys[i%3], []byte("vvv"))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2 resident", c.Len())
+	}
+	if len(c.interned) != 3 {
+		t.Fatalf("interned %d keys, want 3 (dedup across eviction)", len(c.interned))
+	}
+	if len(c.arena.blocks) != 1 {
+		t.Fatalf("arena has %d blocks, want 1 (15 bytes of distinct keys)", len(c.arena.blocks))
+	}
+}
+
+func TestLRUSteadyStateZeroAlloc(t *testing.T) {
+	// The fig8/fig9 SmartNIC hot path: GETs hitting the cache and
+	// refresh-Puts of resident keys. Neither may allocate once the
+	// working set is resident (ROADMAP item 5: no string key
+	// materialized per insert).
+	if raceEnabled {
+		t.Skip("allocation counts distorted under -race")
+	}
+	c := NewLRUCache(1 << 20)
+	const n = 64
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+		vals[i] = make([]byte, 40)
+		c.PutBytes(keys[i], vals[i])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		k := keys[i%n]
+		c.PutBytes(k, vals[i%n])
+		if _, ok := c.GetBytes(k); !ok {
+			t.Fatal("resident key missing")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PutBytes+GetBytes allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestBadConfigsPanic(t *testing.T) {
 	for _, f := range []func(){
 		func() { New(Config{}, nil) },
