@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_5.json
+//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_6.json
 //	go run ./cmd/rambda-bench -skip-figures          # microbenchmarks only
-//	go run ./cmd/rambda-bench -quick -baseline BENCH_4.json
+//	go run ./cmd/rambda-bench -quick -baseline BENCH_5.json
 //
 // With -baseline, the run fails (exit 1) when anything regresses:
 //   - a microbenchmark's machine-normalized score (ns/op divided by the
@@ -103,12 +103,13 @@ var microKernels = []struct {
 	{"RCRetransmitStorm", func(n int) { rnic.BenchRetransmitStorm(n) }},
 	{"ChainFailoverReplay", func(n int) { chainrep.BenchFailoverReplay(n) }},
 	{"ShardRouteHotPath", func(n int) { scaleout.BenchShardRouteHotPath(n) }},
+	{"MigrationFailoverReplay", func(n int) { scaleout.BenchMigrationFailoverReplay(n) }},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "run figures at quick scale (mirrors rambda-figures -quick)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for figure sweep points")
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	only := flag.String("only", "", "time a single figure id (e.g. fig7)")
 	skipFigures := flag.Bool("skip-figures", false, "skip figure timings, run only the sim microbenchmarks")
 	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json to compare microbenchmarks against")

@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos, breakdown, scaleout")
+	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos, breakdown, scaleout, chaos-scaleout")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
@@ -38,6 +38,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the breakdown experiment's spans as Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-out", "", "write the breakdown experiment's metrics registry as JSON to this file")
 	scaleoutMetricsOut := flag.String("scaleout-metrics-out", "", "write the scaleout sweep's per-point metrics registries as JSON to this file")
+	chaosScaleoutMetricsOut := flag.String("chaos-scaleout-metrics-out", "", "write the chaos-scaleout sweep's per-point metrics registries (scaleout + fault-layer gauges) as JSON to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -83,9 +84,10 @@ func main() {
 	runner.SetDefault(*parallel)
 
 	specs := experiments.StandardSpecsPaths(*quick, experiments.ObsPaths{
-		TraceOut:           *traceOut,
-		MetricsOut:         *metricsOut,
-		ScaleoutMetricsOut: *scaleoutMetricsOut,
+		TraceOut:                *traceOut,
+		MetricsOut:              *metricsOut,
+		ScaleoutMetricsOut:      *scaleoutMetricsOut,
+		ChaosScaleoutMetricsOut: *chaosScaleoutMetricsOut,
 	})
 
 	var selected []experiments.Spec

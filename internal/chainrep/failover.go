@@ -143,16 +143,21 @@ func (c *Chain) replicateFaulty(at sim.Time, writes []Tuple, reqBytes int) (sim.
 		c.applied[i]++
 		committed++
 	}
-	if committed == 0 {
-		return at, ErrNoReplicas
-	}
-	// Retain the committed write set so spliced-out replicas can catch
-	// up when they rejoin.
+	// Retain the write set whether or not any replica committed it:
+	// a crashing replica may hold the set's torn log entry (appended
+	// above), so rejoin catch-up must drive every replica — including
+	// ones spliced out before this set — to the same outcome for it.
+	// When committed == 0 the client sees ErrNoReplicas and retries
+	// with identical bytes, so retaining the "failed" set is idempotent
+	// with the retry: the write surfaces exactly once, never torn.
 	kept := make([]Tuple, len(writes))
 	for i, w := range writes {
 		kept[i] = Tuple{Offset: w.Offset, Data: append([]byte(nil), w.Data...)}
 	}
 	c.history = append(c.history, kept)
+	if committed == 0 {
+		return at, ErrNoReplicas
+	}
 	return at, nil
 }
 

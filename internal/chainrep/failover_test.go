@@ -283,3 +283,89 @@ func TestConflictRetryBackoff(t *testing.T) {
 		t.Fatal("locks leaked")
 	}
 }
+
+// TestRejoinRacesApplyCommitted interleaves the constructive
+// reconfiguration path (ApplyCommitted — the migration install machinery)
+// with a crash window and a rejoin: installs flowing while a replica is
+// down must splice it out like any replicated write (leaving a torn log
+// entry), accumulate in the catch-up history, and be fully recovered by
+// the rejoin — after which further installs include the replica again
+// and all three stores are byte-equal.
+func TestRejoinRacesApplyCommitted(t *testing.T) {
+	c := newChain(3)
+	win := fault.Window{
+		Node: "r1", Kind: fault.Crash,
+		From: 50 * sim.Microsecond, To: 400 * sim.Microsecond,
+	}
+	c.EnableFaultDetection(fault.New(fault.Plan{Nodes: []fault.Window{win}}), 20*sim.Microsecond)
+
+	now := sim.Time(0)
+	// Whole-chain traffic before the window: a mix of client commits and
+	// installs.
+	for i := 0; i < 3; i++ {
+		_, done, err := c.RambdaTx(now, writeTx(uint32(i*64), "pre"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if now >= win.From {
+		t.Fatalf("pre-window traffic ran past the window start: %v", now)
+	}
+	now = win.From
+
+	// Installs during the window splice r1 out on first contact and keep
+	// committing on the shortened chain.
+	for i := 0; i < 5; i++ {
+		done, err := c.ApplyCommitted(now, []Tuple{{Offset: uint32(512 + i*64), Data: []byte("mig")}})
+		if err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+		now = done
+	}
+	if c.Alive(1) || c.LiveReplicas() != 2 {
+		t.Fatal("installs against a downed replica did not splice it out")
+	}
+	// Client commits racing the same window land in the same history.
+	for i := 0; i < 3; i++ {
+		_, done, err := c.RambdaTx(now, writeTx(uint32(1024+i*64), "mid"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+
+	// Rejoin waits out the window, replays the torn log entry, and
+	// catches up every install and commit that raced the outage.
+	back, err := c.Rejoin(now, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back < win.To {
+		t.Fatalf("rejoin at %v, before the window closed at %v", back, win.To)
+	}
+	st := c.FailoverStats()
+	if st.Rejoins != 1 || st.Failovers != 1 {
+		t.Fatalf("failover accounting: %+v", st)
+	}
+	if st.ReplayedTx < 1 {
+		t.Fatalf("crash rejoin replayed nothing: %+v", st)
+	}
+	if st.CaughtUpTx < 8 {
+		t.Fatalf("caught up %d write sets, want the 5 installs + 3 commits", st.CaughtUpTx)
+	}
+
+	// Installs after the rejoin go down the whole chain again.
+	for i := 0; i < 5; i++ {
+		done, err := c.ApplyCommitted(back, []Tuple{{Offset: uint32(2048 + i*64), Data: []byte("post")}})
+		if err != nil {
+			t.Fatalf("post-rejoin install %d: %v", i, err)
+		}
+		back = done
+	}
+	const n = 4096
+	if !StateEqual(c.Nodes[0].Store, c.Nodes[1].Store, n) ||
+		!StateEqual(c.Nodes[0].Store, c.Nodes[2].Store, n) {
+		t.Fatal("replicas diverged after rejoin raced ApplyCommitted")
+	}
+}

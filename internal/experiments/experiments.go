@@ -53,9 +53,10 @@ func StandardSpecsObs(quick bool, traceOut, metricsOut string) []Spec {
 // breakdown's Chrome trace and metrics registry, and the scaleout
 // sweep's per-point metrics registries. Empty fields export nothing.
 type ObsPaths struct {
-	TraceOut           string
-	MetricsOut         string
-	ScaleoutMetricsOut string
+	TraceOut                string
+	MetricsOut              string
+	ScaleoutMetricsOut      string
+	ChaosScaleoutMetricsOut string
 }
 
 // StandardSpecsPaths is the full enumeration with every export path.
@@ -67,6 +68,7 @@ func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 	chaos := DefaultChaosConfig()
 	bd := DefaultBreakdownConfig()
 	sc := DefaultScaleoutConfig()
+	cso := DefaultChaosScaleoutConfig()
 	fig1Requests := 20000
 	if quick {
 		fig1Requests = 4000
@@ -82,9 +84,12 @@ func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 		bd.Requests = 3000
 		sc.Keys = 1 << 13
 		sc.Requests = 4800
+		cso.Keys = 1 << 12
+		cso.Requests = 4000
 	}
 	bd.TraceOut, bd.MetricsOut = paths.TraceOut, paths.MetricsOut
 	sc.MetricsOut = paths.ScaleoutMetricsOut
+	cso.MetricsOut = paths.ChaosScaleoutMetricsOut
 	// The chaos spec stays after the paper figures: figure goldens pin
 	// their print order, and non-paper experiments (chaos, breakdown,
 	// scaleout) append after them.
@@ -102,6 +107,7 @@ func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 		ChaosSpec(chaos),
 		BreakdownSpec(bd),
 		ScaleoutSpec(sc),
+		ChaosScaleoutSpec(cso),
 	}
 }
 

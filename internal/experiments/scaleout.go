@@ -38,6 +38,17 @@ type ScaleoutConfig struct {
 	Seed       uint64
 	Parallel   int // sweep-point workers; 0 = runner default
 
+	// OpenLoopInterval, when > 0, switches the workload from the
+	// closed loop (each frontend issues its next request when the
+	// previous one completes — the load self-throttles under slowdown)
+	// to an open-loop arrival process: every frontend issues a request
+	// each interval regardless of completions, the way real datacenter
+	// load arrives. Under overload or fault windows the open loop keeps
+	// pushing and response times grow with the backlog — the queueing
+	// collapse a closed loop structurally cannot show. 0 (the default)
+	// keeps the closed loop and its byte-identical output.
+	OpenLoopInterval sim.Duration
+
 	// MetricsOut, when non-empty, exports every point's metrics
 	// registry (imbalance gauge, migration counters, per-shard served
 	// counts over virtual time) as one JSON file after the jobs have
@@ -132,21 +143,47 @@ func scaleoutPoint(cfg ScaleoutConfig, shards int, theta float64, point int,
 	for i := range fes {
 		fes[i] = c.NewFrontend()
 	}
-	for i := 0; i < cfg.Requests; i++ {
-		var k int
+	nextKey := func() int {
 		if zipf != nil {
-			k = int(zipf.Next())
-		} else {
-			k = wrng.Intn(cfg.Keys)
+			return int(zipf.Next())
 		}
-		key = appendKVSKey(key[:0], k)
-		fe := fes[i%len(fes)]
-		if wrng.Intn(100) < cfg.PutPercent {
-			binary.LittleEndian.PutUint64(val, uint64(i))
-			now = fe.Put(now, key, val)
-		} else {
-			_, done := fe.Get(now, key)
-			now = done
+		return wrng.Intn(cfg.Keys)
+	}
+	if cfg.OpenLoopInterval > 0 {
+		// Open loop: issue times are fixed by the arrival process (the
+		// driver's clock is relative, so completions are rebased to t0);
+		// the request sequence still draws from wrng in driver event
+		// order, which is deterministic.
+		reqIdx := 0
+		drv := sim.OpenLoop{
+			Clients:  cfg.Frontends,
+			PerCli:   cfg.Requests / cfg.Frontends,
+			Interval: cfg.OpenLoopInterval,
+		}
+		res := drv.Run(func(cli int, issue sim.Time) sim.Time {
+			i := reqIdx
+			reqIdx++
+			key = appendKVSKey(key[:0], nextKey())
+			fe := fes[cli]
+			if wrng.Intn(100) < cfg.PutPercent {
+				binary.LittleEndian.PutUint64(val, uint64(i))
+				return fe.Put(t0+issue, key, val) - t0
+			}
+			_, done := fe.Get(t0+issue, key)
+			return done - t0
+		})
+		now = t0 + res.End
+	} else {
+		for i := 0; i < cfg.Requests; i++ {
+			key = appendKVSKey(key[:0], nextKey())
+			fe := fes[i%len(fes)]
+			if wrng.Intn(100) < cfg.PutPercent {
+				binary.LittleEndian.PutUint64(val, uint64(i))
+				now = fe.Put(now, key, val)
+			} else {
+				_, done := fe.Get(now, key)
+				now = done
+			}
 		}
 	}
 	if reg != nil {
@@ -155,9 +192,13 @@ func scaleoutPoint(cfg ScaleoutConfig, shards int, theta float64, point int,
 
 	st := c.Stats()
 	hist := c.MergedLatency()
+	executed := cfg.Requests
+	if cfg.OpenLoopInterval > 0 {
+		executed = (cfg.Requests / cfg.Frontends) * cfg.Frontends
+	}
 	goodput := 0.0
 	if now > t0 {
-		goodput = float64(cfg.Requests) / (float64(now-t0) / float64(sim.Second))
+		goodput = float64(executed) / (float64(now-t0) / float64(sim.Second))
 	}
 	return ScaleoutRow{
 		Shards:       shards,

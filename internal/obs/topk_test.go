@@ -79,3 +79,32 @@ func TestTopKReset(t *testing.T) {
 		t.Fatalf("post-reset observe: %+v", top)
 	}
 }
+
+func TestTopKEvictionTieEvictsLargestKey(t *testing.T) {
+	// When a new key must displace an existing entry and several
+	// candidates share the minimum count, the victim is the one with the
+	// largest key — the deterministic tie-break migration planning leans
+	// on. Here keys 7, 9, 8 all sit at count 1; admitting 100 must evict
+	// 9 and credit the newcomer with min+1.
+	tk := NewTopK(3)
+	for _, k := range []uint64{7, 9, 8} {
+		tk.Observe(k)
+	}
+	tk.Observe(100)
+	top := tk.Top(nil)
+	if len(top) != 3 {
+		t.Fatalf("sketch holds %d entries, want 3", len(top))
+	}
+	if top[0].Key != 100 || top[0].Count != 2 {
+		t.Fatalf("newcomer %+v, want key 100 inheriting min count + 1 = 2", top[0])
+	}
+	for _, e := range top {
+		if e.Key == 9 {
+			t.Fatalf("victim should be the largest min-count key (9), still present: %+v", top)
+		}
+	}
+	// Survivors keep their counts and sort key-ascending on the tie.
+	if top[1].Key != 7 || top[1].Count != 1 || top[2].Key != 8 || top[2].Count != 1 {
+		t.Fatalf("survivors %+v, want 7 then 8 at count 1", top[1:])
+	}
+}

@@ -1,6 +1,13 @@
 package scaleout
 
-import "rambda/internal/kvs"
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rambda/internal/fault"
+	"rambda/internal/kvs"
+	"rambda/internal/sim"
+)
 
 // RouteBench is the reusable state of the ShardRouteHotPath micro
 // benchmark: an 8-shard ring, a current map with a handful of hot keys
@@ -69,4 +76,62 @@ func appendBenchKey(dst []byte, i int) []byte {
 		i /= 10
 	}
 	return append(dst, digits[:]...)
+}
+
+// BenchMigrationFailoverReplay is the cluster's fault-path kernel: n
+// skewed requests drive hot-key migrations while every shard's second
+// replica sits in one long crash window, so the first contact splices
+// it out (leaving a torn log entry) and all further commits and
+// migration installs accumulate in the catch-up history; the final
+// rejoin replays each redo log and re-ships that history. Like a real
+// recovery — and like chainrep's ChainFailoverReplay kernel one level
+// down — the work scales with n.
+func BenchMigrationFailoverReplay(n int) sim.Time {
+	cfg := DefaultConfig()
+	cfg.SlotsPerShard = 2048
+	cfg.LogEntries = 512
+	cfg.RebalanceEvery = 250
+	cfg.ImbalanceThreshold = 1.1
+	cfg.HotKeysPerMove = 4
+	cfg.CopyChunk = 1
+
+	c := New(cfg)
+	const keys = 512
+	var key []byte
+	val := make([]byte, 46)
+	now := sim.Time(0)
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		binary.LittleEndian.PutUint64(val, uint64(i))
+		now = c.Preload(now, key, val)
+	}
+	windowEnd := now + sim.Time(n+1)*sim.Time(10*sim.Microsecond)
+	wins := make([]fault.Window, 0, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		wins = append(wins, fault.Window{
+			Node: fmt.Sprintf("s%dr1", s), Kind: fault.Crash, From: now, To: windowEnd,
+		})
+	}
+	c.EnableFaults(fault.New(fault.Plan{Nodes: wins}))
+
+	fe := c.NewFrontend()
+	rng := sim.NewRNG(7)
+	seq := uint64(1 << 32)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(keys)
+		if rng.Intn(10) < 7 {
+			k = rng.Intn(4) // the skew that triggers migrations
+		}
+		key = appendBenchKey(key[:0], k)
+		if rng.Intn(2) == 0 {
+			seq++
+			binary.LittleEndian.PutUint64(val, seq)
+			now = fe.Put(now, key, val)
+		} else {
+			_, done := fe.Get(now, key)
+			now = done
+		}
+	}
+	now = c.DrainResize(now)
+	return c.RejoinAll(now)
 }

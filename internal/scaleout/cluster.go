@@ -1,15 +1,23 @@
 package scaleout
 
 import (
+	"errors"
 	"fmt"
 
 	"rambda/internal/chainrep"
+	"rambda/internal/fault"
 	"rambda/internal/kvs"
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
 	"rambda/internal/obs"
 	"rambda/internal/sim"
 )
+
+// ErrRetriesExhausted reports that a request burned every attempt —
+// stale-map refreshes and failover timeouts both count — without being
+// served. It is the frontend's degradation contract: a request to a
+// fully-crashed shard fails loudly and countably instead of wedging.
+var ErrRetriesExhausted = errors.New("scaleout: request retries exhausted")
 
 // Config sizes a sharded cluster.
 type Config struct {
@@ -49,6 +57,19 @@ type Config struct {
 	HotKeysPerMove     int
 	MaxMigrations      int
 	CopyChunk          int
+
+	// Fault handling and elasticity. MaxAttempts bounds Frontend.do's
+	// retry loop — stale-map refreshes and failover timeouts both
+	// consume attempts (<= 0 takes 6). RetryBackoff is the base of the
+	// exponential backoff charged after an attempt that found no live
+	// replica. AckTimeout is the chain failure detector's missed-ack
+	// timer once EnableFaults arms it (<= 0 takes the chainrep
+	// default). RangeChunkKeys caps the keys moved per elastic range
+	// migration (<= 0 takes 256).
+	MaxAttempts    int
+	RetryBackoff   sim.Duration
+	AckTimeout     sim.Duration
+	RangeChunkKeys int
 }
 
 // DefaultConfig returns a 4-shard cluster at the chainrep testbed
@@ -75,8 +96,20 @@ func DefaultConfig() Config {
 		HotKeysPerMove:     4,
 		MaxMigrations:      8,
 		CopyChunk:          8,
+
+		MaxAttempts:    6,
+		RetryBackoff:   10 * sim.Microsecond,
+		AckTimeout:     25 * sim.Microsecond,
+		RangeChunkKeys: 256,
 	}
 }
+
+// defaultMaxAttempts backs MaxAttempts when a caller-built Config left
+// it zero.
+const defaultMaxAttempts = 6
+
+// retryShiftCap bounds the exponential retry backoff shift.
+const retryShiftCap = 6
 
 // slotRef locates one key's value inside its shard's store.
 type slotRef struct {
@@ -98,6 +131,12 @@ type Shard struct {
 	hist   *sim.Histogram
 	served int64 // lifetime requests served here
 	window int64 // requests in the current detection window
+
+	// retired marks a shard drained and removed by an elastic resize:
+	// it owns no keys, serves no requests, and is skipped by every
+	// planner. Its chain is kept (cheap, and its history stays
+	// inspectable) but never touched again.
+	retired bool
 
 	// Request-path scratch: each cluster is driven from one goroutine
 	// (one runner sweep point), so one read op, one write tuple, and one
@@ -182,6 +221,12 @@ type migration struct {
 	cursor    int      // next key to snapshot-copy
 	migrating map[uint64]bool
 	log       []migEntry
+
+	// elastic marks a range-migration chunk of an in-flight resize;
+	// resizeStart is the resize cursor to rewind to if the chunk
+	// aborts (so the whole chunk re-copies on retry).
+	elastic     bool
+	resizeStart int
 }
 
 // Cluster is the sharded KVS: Shards chain-replicated partitions behind
@@ -194,6 +239,13 @@ type Cluster struct {
 	cur    *ShardMap // authoritative routing state
 	mig    *migration
 
+	// Availability layer: inj == nil — the default, until EnableFaults
+	// — is the fault-free fast path (no liveness scans, no retry
+	// bookkeeping, byte-identical behaviour); resize is the in-flight
+	// elastic reshape, nil when the shard set is stable.
+	inj    *fault.Injector
+	resize *resize
+
 	sinceCheck     int
 	checks         int64
 	staleRetries   int64
@@ -201,6 +253,14 @@ type Cluster struct {
 	movedKeys      int64
 	firstImbalance float64
 	lastImbalance  float64
+
+	deepStale       int64 // refreshes that jumped >= 2 map versions
+	timeoutRetries  int64 // attempts that found no live replica
+	failed          int64 // requests that exhausted every attempt
+	aborted         int64 // migrations abandoned to a crashed chain
+	rangeMigrations int64 // elastic range chunks flipped
+	rangeKeys       int64 // keys moved by elastic chunks
+	resizes         int64 // completed AddShard/RemoveShard reshapes
 
 	reg *obs.Registry
 
@@ -243,6 +303,23 @@ func (c *Cluster) Map() *ShardMap { return c.cur }
 // MigrationActive reports whether a hot-key move is in flight.
 func (c *Cluster) MigrationActive() bool { return c.mig != nil }
 
+// ResizeActive reports whether an elastic reshape is in flight.
+func (c *Cluster) ResizeActive() bool { return c.resize != nil }
+
+// Retired reports whether shard i has been drained and removed.
+func (c *Cluster) Retired(i int) bool { return c.shards[i].retired }
+
+// LiveShards counts the non-retired shards.
+func (c *Cluster) LiveShards() int {
+	n := 0
+	for _, sh := range c.shards {
+		if !sh.retired {
+			n++
+		}
+	}
+	return n
+}
+
 // ShardServed reports shard i's lifetime request count.
 func (c *Cluster) ShardServed(i int) int64 { return c.shards[i].served }
 
@@ -267,24 +344,68 @@ type Stats struct {
 	Overrides      int
 	FirstImbalance float64 // max/mean shard load, first detection window
 	LastImbalance  float64 // max/mean shard load, latest window
+
+	// Fault-path and elasticity counters, all zero on the fault-free
+	// fast path. DeepStale counts map refreshes that crossed two or
+	// more versions (the elastic-resharding staleness the single-flip
+	// model never produced); TimeoutRetries counts attempts that found
+	// no live replica; Failed counts requests that exhausted every
+	// attempt; Aborted counts migrations abandoned to a crashed chain;
+	// RangeMigrations/RangeKeys count elastic handoff chunks and the
+	// keys they moved; Resizes counts completed reshapes; LiveShards is
+	// the current non-retired shard count.
+	DeepStale       int64
+	TimeoutRetries  int64
+	Failed          int64
+	Aborted         int64
+	RangeMigrations int64
+	RangeKeys       int64
+	Resizes         int64
+	LiveShards      int
+
+	// Chain availability counters, summed over every shard chain.
+	Failovers  int64
+	MissedAcks int64
+	Rejoins    int64
+	ReplayedTx int64
+	CaughtUpTx int64
 }
 
 // Stats reads the cluster counters.
 func (c *Cluster) Stats() Stats {
 	var req int64
+	live := 0
+	st := Stats{
+		StaleRetries:    c.staleRetries,
+		Migrations:      c.migrations,
+		MovedKeys:       c.movedKeys,
+		MapVersion:      c.cur.Version,
+		Overrides:       c.cur.Overrides(),
+		FirstImbalance:  c.firstImbalance,
+		LastImbalance:   c.lastImbalance,
+		DeepStale:       c.deepStale,
+		TimeoutRetries:  c.timeoutRetries,
+		Failed:          c.failed,
+		Aborted:         c.aborted,
+		RangeMigrations: c.rangeMigrations,
+		RangeKeys:       c.rangeKeys,
+		Resizes:         c.resizes,
+	}
 	for _, sh := range c.shards {
 		req += sh.served
+		if !sh.retired {
+			live++
+		}
+		fs := sh.chain.FailoverStats()
+		st.Failovers += fs.Failovers
+		st.MissedAcks += fs.MissedAcks
+		st.Rejoins += fs.Rejoins
+		st.ReplayedTx += fs.ReplayedTx
+		st.CaughtUpTx += fs.CaughtUpTx
 	}
-	return Stats{
-		Requests:       req,
-		StaleRetries:   c.staleRetries,
-		Migrations:     c.migrations,
-		MovedKeys:      c.movedKeys,
-		MapVersion:     c.cur.Version,
-		Overrides:      c.cur.Overrides(),
-		FirstImbalance: c.firstImbalance,
-		LastImbalance:  c.lastImbalance,
-	}
+	st.Requests = req
+	st.LiveShards = live
+	return st
 }
 
 // RegisterMetrics wires the cluster into an obs.Registry: gauges for
@@ -362,83 +483,156 @@ func (c *Cluster) NewFrontend() *Frontend {
 func (f *Frontend) MapVersion() uint64 { return f.m.Version }
 
 // Get reads key. The returned value aliases the owning shard's scratch
-// and is valid until the next request that shard serves.
+// and is valid until the next request that shard serves. Get panics on
+// a retry-exhausted request — impossible without fault injection; use
+// TryGet when faults are armed.
 func (f *Frontend) Get(now sim.Time, key []byte) ([]byte, sim.Time) {
-	return f.do(now, key, nil)
+	v, done, err := f.do(now, key, nil)
+	if err != nil {
+		panic(fmt.Sprintf("scaleout: get: %v", err))
+	}
+	return v, done
 }
 
-// Put writes key=val.
+// Put writes key=val. Like Get it panics on a retry-exhausted request;
+// use TryPut when faults are armed.
 func (f *Frontend) Put(now sim.Time, key, val []byte) sim.Time {
-	_, done := f.do(now, key, val)
+	_, done, err := f.do(now, key, val)
+	if err != nil {
+		panic(fmt.Sprintf("scaleout: put: %v", err))
+	}
 	return done
 }
 
-// do routes one request. A stale map sends it to a shard that no longer
-// owns the key; the shard's ownership check rejects it, the frontend
-// pays the reject + map-refresh cost, and retries with the fresh map —
-// the request is never executed twice. With a current map the loop
-// serves on the first pass.
-func (f *Frontend) do(now sim.Time, key, val []byte) ([]byte, sim.Time) {
+// TryGet is the fault-aware read: on ErrRetriesExhausted the returned
+// time is when the frontend gave up (attempt costs and backoff
+// included) and the read executed zero times.
+func (f *Frontend) TryGet(now sim.Time, key []byte) ([]byte, sim.Time, error) {
+	return f.do(now, key, nil)
+}
+
+// TryPut is the fault-aware write: on ErrRetriesExhausted the write
+// may still surface later — a crashed replica can hold its torn log
+// entry, and rejoin convergence applies it chain-wide — so callers
+// must treat a failed put as "at most once, never torn" (DESIGN.md
+// §11), exactly the contract of a timed-out RPC.
+func (f *Frontend) TryPut(now sim.Time, key, val []byte) (sim.Time, error) {
+	_, done, err := f.do(now, key, val)
+	return done, err
+}
+
+// do routes one request with a bounded retry budget. A stale map sends
+// it to a shard that no longer owns the key; the shard's ownership
+// check rejects it, the frontend pays the reject + map-refresh cost,
+// and retries with the fresh map — the request is never executed
+// twice. With a current map and a live chain the loop serves on the
+// first pass. An attempt that reaches a chain with no live replica
+// costs the failed round trip plus an exponential backoff, triggers a
+// rejoin scan, and retries; both kinds of retry consume attempts, and
+// exhaustion returns a counted ErrRetriesExhausted instead of wedging.
+func (f *Frontend) do(now sim.Time, key, val []byte) ([]byte, sim.Time, error) {
 	h := kvs.Hash64(key)
 	c := f.c
 	at := now
-	for {
+	maxAttempts := c.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = defaultMaxAttempts
+	}
+	for attempt := 1; ; attempt++ {
 		sid := f.m.Shard(h)
 		if sid != c.cur.Shard(h) {
 			at += c.rejectCost()
 			c.staleRetries++
+			// Under elastic resharding every flipped chunk publishes a
+			// version, so a quiet frontend can fall arbitrarily far
+			// behind; the refresh hands it the authoritative map in one
+			// fetch, but the depth is worth counting.
+			if c.cur.Version > f.m.Version+1 {
+				c.deepStale++
+			}
 			f.m = c.cur
+			if attempt >= maxAttempts {
+				c.failed++
+				c.afterRequest(now)
+				return nil, at, ErrRetriesExhausted
+			}
 			continue
 		}
 		sh := c.shards[sid]
 		var ret []byte
 		var done sim.Time
+		var err error
 		if val == nil {
 			ref, ok := sh.index[h]
 			if !ok {
 				panic("scaleout: GET of a key that was never loaded")
 			}
 			sh.rd[0] = chainrep.ReadOp{Offset: ref.off, Len: int(ref.n)}
-			vals, d, err := sh.chain.RambdaTxInto(at, chainrep.Tx{Reads: sh.rd[:1]}, &sh.sc)
-			if err != nil {
-				panic(fmt.Sprintf("scaleout: get: %v", err))
+			var vals [][]byte
+			vals, done, err = sh.chain.RambdaTxInto(at, chainrep.Tx{Reads: sh.rd[:1]}, &sh.sc)
+			if err == nil {
+				ret = vals[0]
 			}
-			ret, done = vals[0], d
 		} else {
 			ref := sh.ensureSlot(h, len(val))
 			sh.wr[0] = chainrep.Tuple{Offset: ref.off, Data: val}
-			_, d, err := sh.chain.RambdaTxInto(at, chainrep.Tx{Writes: sh.wr[:1]}, &sh.sc)
-			if err != nil {
-				panic(fmt.Sprintf("scaleout: put: %v", err))
-			}
-			done = d
+			_, done, err = sh.chain.RambdaTxInto(at, chainrep.Tx{Writes: sh.wr[:1]}, &sh.sc)
 			// A write to a key mid-migration commits at the source (the
 			// owner until the flip) and is additionally logged for
 			// catch-up replay at the destination.
-			if c.mig != nil && sid == c.mig.src && c.mig.migrating[h] {
+			if err == nil && c.mig != nil && sid == c.mig.src && c.mig.migrating[h] {
 				c.mig.log = append(c.mig.log, migEntry{key: h, val: append([]byte(nil), val...)})
 			}
+		}
+		if err != nil {
+			// Every replica of the shard is down. Charge the failed
+			// round trip plus the backoff, give window-expired replicas
+			// a chance to rejoin, and retry.
+			c.timeoutRetries++
+			shift := attempt - 1
+			if shift > retryShiftCap {
+				shift = retryShiftCap
+			}
+			at += sim.Time(2*c.cfg.ClientOneWay) + sim.Time(c.cfg.RetryBackoff<<uint(shift))
+			c.maybeRejoin(at)
+			if attempt >= maxAttempts {
+				c.failed++
+				c.afterRequest(now)
+				return nil, at, ErrRetriesExhausted
+			}
+			continue
 		}
 		sh.hot.Observe(h)
 		sh.served++
 		sh.window++
 		sh.hist.Record(done - now)
 		c.afterRequest(now)
-		return ret, done
+		return ret, done, nil
 	}
 }
 
-// afterRequest is the cluster's per-completion tick: advance any
-// in-flight migration by one chunk, run the hot-key detection check at
+// afterRequest is the cluster's per-completion tick: rejoin replicas
+// whose fault windows ended, advance any in-flight migration by one
+// chunk, pump the elastic resize, run the hot-key detection check at
 // window boundaries, and advance the metrics ticker. Driving the state
 // machine from the request loop (rather than a background goroutine)
 // interleaves migration traffic with foreground requests while keeping
-// the whole cluster single-threaded and deterministic.
+// the whole cluster single-threaded and deterministic. Every branch is
+// gated so the fault-free, fixed-shard path is byte-identical to the
+// pre-fault model.
 func (c *Cluster) afterRequest(now sim.Time) {
+	if c.inj != nil {
+		c.maybeRejoin(now)
+	}
 	if c.mig != nil {
 		c.stepMigration(now)
 	}
-	if c.cfg.RebalanceEvery > 0 {
+	if c.resize != nil && c.mig == nil && now >= c.resize.retryAt {
+		c.pumpResize(now)
+	}
+	// Hot-key detection pauses while a resize is redrawing the ring:
+	// the window loads it would act on are already being reshaped.
+	if c.cfg.RebalanceEvery > 0 && c.resize == nil {
 		c.sinceCheck++
 		if c.sinceCheck >= c.cfg.RebalanceEvery {
 			c.rebalanceCheck(now)
@@ -456,7 +650,17 @@ func (c *Cluster) afterRequest(now sim.Time) {
 // A logged write may both land in a later snapshot read and be replayed
 // (same offset, same bytes): the replay is idempotent, so the
 // destination always ends at the source's latest value.
-func (c *Cluster) stepMigration(now sim.Time) {
+//
+// Fault semantics: a source-side partial failover is invisible here —
+// the snapshot read fails over to the next live replica, and the
+// catch-up log carries any writes that raced it, so the move resumes
+// rather than restarts. Only a chain with no live replica at all
+// (source unreadable, or destination unable to accept installs) aborts
+// the move; nothing flipped, so the source keeps serving and the abort
+// is retried later (next detection window for hot-key moves, the
+// resize pump for elastic chunks). It returns the time the last
+// install completed (now when nothing advanced).
+func (c *Cluster) stepMigration(now sim.Time) sim.Time {
 	m := c.mig
 	src, dst := c.shards[m.src], c.shards[m.dst]
 	at := now
@@ -470,18 +674,18 @@ func (c *Cluster) stepMigration(now sim.Time) {
 		c.migRd[0] = chainrep.ReadOp{Offset: ref.off, Len: int(ref.n)}
 		vals, _, err := src.chain.RambdaTxInto(at, chainrep.Tx{Reads: c.migRd[:1]}, &c.migSc)
 		if err != nil {
-			panic(fmt.Sprintf("scaleout: migration read: %v", err))
+			return c.abortMigration(now)
 		}
 		dref := dst.ensureSlot(h, int(ref.n))
 		c.migWr[0] = chainrep.Tuple{Offset: dref.off, Data: vals[0]}
 		at, err = dst.chain.ApplyCommitted(at, c.migWr[:1])
 		if err != nil {
-			panic(fmt.Sprintf("scaleout: migration install: %v", err))
+			return c.abortMigration(now)
 		}
 		m.cursor++
 	}
 	if m.cursor < len(m.keys) {
-		return
+		return at
 	}
 	// Catch-up: writes that raced the copy, in arrival order.
 	for _, e := range m.log {
@@ -490,7 +694,7 @@ func (c *Cluster) stepMigration(now sim.Time) {
 		var err error
 		at, err = dst.chain.ApplyCommitted(at, c.migWr[:1])
 		if err != nil {
-			panic(fmt.Sprintf("scaleout: migration catch-up: %v", err))
+			return c.abortMigration(now)
 		}
 	}
 	// Atomic flip: publish the next map version; the source drops its
@@ -500,9 +704,48 @@ func (c *Cluster) stepMigration(now sim.Time) {
 	for _, h := range m.keys {
 		delete(src.index, h)
 	}
-	c.migrations++
-	c.movedKeys += int64(len(m.keys))
+	if m.elastic {
+		c.rangeMigrations++
+		c.rangeKeys += int64(len(m.keys))
+	} else {
+		c.migrations++
+		c.movedKeys += int64(len(m.keys))
+	}
 	c.mig = nil
+	return at
+}
+
+// abortMigration abandons the in-flight move after its source or
+// destination lost every replica. Nothing has flipped: the source (if
+// alive) still owns and serves every key, the destination's partial
+// copies are invisible and will be overwritten by the retry, and the
+// catch-up log is discarded with the move (its writes committed at the
+// source, which remains the owner). Elastic chunks rewind the resize
+// cursor and back off; hot-key moves wait for the next detection
+// window.
+func (c *Cluster) abortMigration(now sim.Time) sim.Time {
+	m := c.mig
+	c.aborted++
+	c.mig = nil
+	// Drop the destination index entries the partial copy installed:
+	// nothing flipped, so the destination owns none of these keys, and a
+	// stale entry would make a later elastic drain treat the key as
+	// resident there and hand off dead bytes. The slots themselves leak
+	// (a retry allocates fresh ones); that waste is bounded by the abort
+	// count.
+	dst := c.shards[m.dst]
+	for _, h := range m.keys {
+		delete(dst.index, h)
+	}
+	if m.elastic && c.resize != nil {
+		c.resize.cursor = m.resizeStart
+		backoff := c.cfg.RetryBackoff
+		if backoff <= 0 {
+			backoff = 10 * sim.Microsecond
+		}
+		c.resize.retryAt = now + sim.Time(backoff)
+	}
+	return now
 }
 
 // rebalanceCheck closes a detection window: it computes the window's
@@ -512,17 +755,21 @@ func (c *Cluster) stepMigration(now sim.Time) {
 func (c *Cluster) rebalanceCheck(now sim.Time) {
 	_ = now
 	var total, maxv int64
-	maxi := 0
+	maxi, live := -1, 0
 	for i, sh := range c.shards {
+		if sh.retired {
+			continue
+		}
+		live++
 		total += sh.window
-		if sh.window > maxv {
+		if maxi < 0 || sh.window > maxv {
 			maxv = sh.window
 			maxi = i
 		}
 	}
 	imb := 1.0
 	if total > 0 {
-		imb = float64(maxv) * float64(len(c.shards)) / float64(total)
+		imb = float64(maxv) * float64(live) / float64(total)
 	}
 	if c.checks == 0 {
 		c.firstImbalance = imb
@@ -531,7 +778,7 @@ func (c *Cluster) rebalanceCheck(now sim.Time) {
 	c.lastImbalance = imb
 
 	if c.mig == nil && imb >= c.cfg.ImbalanceThreshold &&
-		c.migrations < int64(c.cfg.MaxMigrations) && len(c.shards) > 1 {
+		c.migrations < int64(c.cfg.MaxMigrations) && live > 1 {
 		c.startMigration(maxi)
 	}
 
@@ -548,13 +795,16 @@ func (c *Cluster) rebalanceCheck(now sim.Time) {
 // load — a key hot enough to violate that would merely relocate the
 // hotspot and oscillate back next window.
 func (c *Cluster) startMigration(src int) {
-	dst := 0
+	dst := -1
 	for i, sh := range c.shards {
-		if sh.window < c.shards[dst].window {
+		if sh.retired {
+			continue
+		}
+		if dst < 0 || sh.window < c.shards[dst].window {
 			dst = i
 		}
 	}
-	if dst == src {
+	if dst < 0 || dst == src {
 		return
 	}
 	sh := c.shards[src]

@@ -1,0 +1,250 @@
+package scaleout
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rambda/internal/sim"
+)
+
+// Elastic resharding: AddShard and RemoveShard reshape the cluster by
+// handing whole key ranges between chains as a sequence of bounded
+// range migrations — the same three-phase machinery as hot-key moves
+// (mark + write log, chunked snapshot copy, catch-up replay + atomic
+// map flip), so resharding inherits the hot path's fault story: a
+// chunk whose source or destination loses every replica aborts, backs
+// off, and retries; a partial failover is ridden out by the chain's
+// own splice/rejoin. Each flipped chunk publishes a map version and
+// reroutes its keys via overrides on the old ring; only after every
+// key has reached its target home does finishResize install the
+// target ring and drop the overrides it makes redundant — frontends
+// never observe an intermediate ring.
+
+var (
+	// ErrResizeActive rejects a reshape while another is in flight.
+	ErrResizeActive = errors.New("scaleout: resize already in flight")
+	// ErrLastShard rejects removing the only live shard.
+	ErrLastShard = errors.New("scaleout: cannot remove the last live shard")
+	// ErrShardRetired rejects removing an already-retired shard.
+	ErrShardRetired = errors.New("scaleout: shard already retired")
+)
+
+// rangeMove is one key's pending hop of an elastic resize.
+type rangeMove struct {
+	h        uint64
+	src, dst int
+}
+
+// resize is an in-flight cluster reshape: the ring the cluster is
+// converging to, the shard being drained (-1 for pure adds), and the
+// deterministic work list of key moves with its consume cursor. An
+// aborted chunk rewinds the cursor to its start and sets retryAt so
+// the pump backs off instead of hammering a dead chain.
+type resize struct {
+	target   *Ring
+	removing int
+	pending  []rangeMove
+	cursor   int
+	retryAt  sim.Time
+}
+
+// AddShard grows the cluster by one shard chain and starts the
+// full-range handoff that moves the new shard's arcs onto it. The new
+// shard inherits the cluster's fault detector when one is armed. It
+// returns the new shard's id.
+func (c *Cluster) AddShard(now sim.Time) (int, error) {
+	if c.resize != nil {
+		return -1, ErrResizeActive
+	}
+	id := len(c.shards)
+	sh := newShard(id, c.cfg)
+	if c.inj != nil {
+		sh.chain.EnableFaultDetection(c.inj, c.cfg.AckTimeout)
+	}
+	c.shards = append(c.shards, sh)
+	c.startResize(now, -1)
+	return id, nil
+}
+
+// RemoveShard drains shard id — every resident key moves to its home
+// on the shrunk ring — and retires it once empty. The drain is the
+// same chunked handoff as AddShard's, exercised while the shard keeps
+// serving the keys not yet moved.
+func (c *Cluster) RemoveShard(now sim.Time, id int) error {
+	if c.resize != nil {
+		return ErrResizeActive
+	}
+	if id < 0 || id >= len(c.shards) {
+		return fmt.Errorf("scaleout: no shard %d", id)
+	}
+	if c.shards[id].retired {
+		return ErrShardRetired
+	}
+	if c.LiveShards() <= 1 {
+		return ErrLastShard
+	}
+	c.startResize(now, id)
+	return nil
+}
+
+// startResize computes the target ring over the post-reshape live
+// set and the deterministic pending-move list. Any in-flight hot-key
+// move is aborted first (nothing has flipped, so this is free): its
+// keys re-route through the resize plan if they must move at all, and
+// letting it flip mid-plan could strand keys on a draining shard.
+func (c *Cluster) startResize(now sim.Time, removing int) {
+	if c.mig != nil {
+		c.abortMigration(now)
+	}
+	ids := make([]int, 0, len(c.shards))
+	for i, sh := range c.shards {
+		if sh.retired || i == removing {
+			continue
+		}
+		ids = append(ids, i)
+	}
+	c.resize = &resize{
+		target:   NewRingIDs(ids, c.cfg.VNodes, c.cfg.Seed),
+		removing: removing,
+	}
+	c.resize.pending = c.planPending()
+}
+
+// resizeTarget is a key's home after the reshape: its hot-key
+// override if that still points at a surviving shard (migrated heat
+// stays where the balancer put it), the target ring otherwise.
+func (c *Cluster) resizeTarget(h uint64) int {
+	r := c.resize
+	if d, ok := c.cur.overrides[h]; ok && d != r.removing {
+		return d
+	}
+	return r.target.Lookup(h)
+}
+
+// planPending walks every live shard's resident keys and lists the
+// ones whose post-reshape home differs, sorted by (src, dst, hash) so
+// the plan is independent of map iteration order and chunks come out
+// as same-(src,dst) runs.
+func (c *Cluster) planPending() []rangeMove {
+	var pending []rangeMove
+	for sid, sh := range c.shards {
+		if sh.retired {
+			continue
+		}
+		for h := range sh.index {
+			if d := c.resizeTarget(h); d != sid {
+				pending = append(pending, rangeMove{h: h, src: sid, dst: d})
+			}
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].src != pending[j].src {
+			return pending[i].src < pending[j].src
+		}
+		if pending[i].dst != pending[j].dst {
+			return pending[i].dst < pending[j].dst
+		}
+		return pending[i].h < pending[j].h
+	})
+	return pending
+}
+
+// pumpResize installs the next range chunk as the in-flight migration,
+// or finishes the resize when the work list is drained. Called from
+// the per-completion tick whenever no migration is running and the
+// abort backoff (if any) has elapsed.
+func (c *Cluster) pumpResize(now sim.Time) {
+	r := c.resize
+	if r.cursor >= len(r.pending) {
+		c.finishResize()
+		return
+	}
+	chunkCap := c.cfg.RangeChunkKeys
+	if chunkCap < 1 {
+		chunkCap = 256
+	}
+	first := r.pending[r.cursor]
+	keys := make([]uint64, 0, chunkCap)
+	end := r.cursor
+	for end < len(r.pending) && len(keys) < chunkCap {
+		mv := r.pending[end]
+		if mv.src != first.src || mv.dst != first.dst {
+			break
+		}
+		keys = append(keys, mv.h)
+		end++
+	}
+	m := &migration{
+		src: first.src, dst: first.dst, keys: keys,
+		migrating:   make(map[uint64]bool, len(keys)),
+		elastic:     true,
+		resizeStart: r.cursor,
+	}
+	for _, h := range keys {
+		m.migrating[h] = true
+	}
+	r.cursor = end
+	c.mig = m
+}
+
+// finishResize installs the target ring as the next map version,
+// keeping only the overrides that still redirect (drained-shard
+// overrides are gone by construction; overrides the new ring already
+// satisfies are dropped). A draining shard must be empty here — every
+// resident key was on the pending list and every pending move flipped
+// — so it retires.
+func (c *Cluster) finishResize() {
+	r := c.resize
+	next := &ShardMap{Version: c.cur.Version + 1, ring: r.target}
+	for h, d := range c.cur.overrides {
+		if d == r.removing || d == r.target.Lookup(h) {
+			continue
+		}
+		if next.overrides == nil {
+			next.overrides = make(map[uint64]int)
+		}
+		next.overrides[h] = d
+	}
+	c.cur = next
+	if r.removing >= 0 {
+		sh := c.shards[r.removing]
+		if len(sh.index) != 0 {
+			panic(fmt.Sprintf("scaleout: retiring shard %d with %d keys still resident",
+				r.removing, len(sh.index)))
+		}
+		sh.retired = true
+	}
+	c.resizes++
+	c.resize = nil
+}
+
+// DrainResize pumps the in-flight resize (and any migration chunk) to
+// completion outside the request loop — the end-of-run path, and the
+// synchronous form for tests. It advances virtual time past abort
+// backoffs and rejoins recovered replicas between pumps, so it
+// converges even when chunks keep aborting against a crash window: the
+// backoff walks time up to the window's end. Returns the completion
+// time of the last install.
+func (c *Cluster) DrainResize(now sim.Time) sim.Time {
+	for iter := 0; c.resize != nil || c.mig != nil; iter++ {
+		if iter > 1<<20 {
+			panic("scaleout: DrainResize did not converge")
+		}
+		if c.inj != nil {
+			c.maybeRejoin(now)
+		}
+		if c.mig != nil {
+			if at := c.stepMigration(now); at > now {
+				now = at
+			}
+			continue
+		}
+		if c.resize.retryAt > now {
+			now = c.resize.retryAt
+			continue
+		}
+		c.pumpResize(now)
+	}
+	return now
+}

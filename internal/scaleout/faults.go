@@ -1,0 +1,113 @@
+package scaleout
+
+import (
+	"fmt"
+
+	"rambda/internal/fault"
+	"rambda/internal/obs"
+	"rambda/internal/sim"
+)
+
+// This file wires the cluster through internal/fault: every shard
+// chain gets the chainrep failure detector, crashed replicas are
+// spliced out by missed acks on the request path, and the cluster's
+// per-completion tick opportunistically rejoins replicas whose fault
+// windows have ended — so failover and recovery both happen mid
+// -traffic, racing whatever migration or resize is in flight. With no
+// injector attached (EnableFaults never called) every path here is a
+// nil check and the cluster behaves byte-identically to the fault-free
+// model.
+
+// EnableFaults arms the cluster against the instantiated fault plan:
+// every shard chain (including shards added later by AddShard) runs
+// the missed-ack failure detector at the configured AckTimeout, and
+// the request loop starts scanning for rejoinable replicas. Call it
+// after any fault-free bulk load: preloads through an armed chain pay
+// liveness checks and retain history.
+func (c *Cluster) EnableFaults(inj *fault.Injector) {
+	c.inj = inj
+	for _, sh := range c.shards {
+		sh.chain.EnableFaultDetection(inj, c.cfg.AckTimeout)
+	}
+}
+
+// maybeRejoin scans for spliced-out replicas whose fault windows have
+// ended and rejoins them — redo-log replay plus history catch-up — in
+// shard-id order, so recovery is deterministic. It runs on every
+// request completion (cheap when all chains are whole: one live-count
+// per shard) and after every failed attempt, so a cluster under a
+// crash storm heals as soon as virtual time passes each window.
+func (c *Cluster) maybeRejoin(now sim.Time) {
+	for _, sh := range c.shards {
+		if sh.retired {
+			continue
+		}
+		ch := sh.chain
+		if ch.LiveReplicas() == len(ch.Nodes) {
+			continue
+		}
+		for i, n := range ch.Nodes {
+			if ch.Alive(i) || c.inj.NodeDown(n.Name(), now) {
+				continue
+			}
+			if _, err := ch.Rejoin(now, i); err != nil {
+				panic(fmt.Sprintf("scaleout: rejoin %s: %v", n.Name(), err))
+			}
+		}
+	}
+}
+
+// RejoinAll waits out every active fault window and rejoins every
+// spliced-out replica, returning the time the last catch-up finished.
+// The end-of-run convergence step: after it, every live shard's
+// replicas are state-equal.
+func (c *Cluster) RejoinAll(now sim.Time) sim.Time {
+	if c.inj == nil {
+		return now
+	}
+	for _, sh := range c.shards {
+		ch := sh.chain
+		for i, n := range ch.Nodes {
+			if ch.Alive(i) {
+				continue
+			}
+			at, err := ch.Rejoin(now, i)
+			if err != nil {
+				panic(fmt.Sprintf("scaleout: rejoin %s: %v", n.Name(), err))
+			}
+			if at > now {
+				now = at
+			}
+		}
+	}
+	return now
+}
+
+// RegisterFaultMetrics adds the availability-layer gauges to a
+// registry. It is deliberately separate from RegisterMetrics — the
+// fault-free scaleout export predates these counters and must stay
+// byte-identical — so only fault-enabled experiments register both.
+func (c *Cluster) RegisterFaultMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".timeout_retries", func() float64 { return float64(c.timeoutRetries) })
+	reg.Gauge(prefix+".failed", func() float64 { return float64(c.failed) })
+	reg.Gauge(prefix+".deep_stale", func() float64 { return float64(c.deepStale) })
+	reg.Gauge(prefix+".aborted_migrations", func() float64 { return float64(c.aborted) })
+	reg.Gauge(prefix+".range_migrations", func() float64 { return float64(c.rangeMigrations) })
+	reg.Gauge(prefix+".range_keys", func() float64 { return float64(c.rangeKeys) })
+	reg.Gauge(prefix+".resizes", func() float64 { return float64(c.resizes) })
+	reg.Gauge(prefix+".live_shards", func() float64 { return float64(c.LiveShards()) })
+	reg.Gauge(prefix+".failovers", func() float64 {
+		var n int64
+		for _, sh := range c.shards {
+			n += sh.chain.FailoverStats().Failovers
+		}
+		return float64(n)
+	})
+	reg.Gauge(prefix+".rejoins", func() float64 {
+		var n int64
+		for _, sh := range c.shards {
+			n += sh.chain.FailoverStats().Rejoins
+		}
+		return float64(n)
+	})
+}

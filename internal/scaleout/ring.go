@@ -40,18 +40,35 @@ func mix64(x uint64) uint64 {
 
 // NewRing places vnodes points per shard from the given seed.
 func NewRing(shards, vnodes int, seed uint64) *Ring {
-	if shards <= 0 || vnodes <= 0 {
+	if shards <= 0 {
 		panic("scaleout: ring needs shards >= 1 and vnodes >= 1")
 	}
-	r := &Ring{points: make([]ringPoint, 0, shards*vnodes)}
-	for s := 0; s < shards; s++ {
+	ids := make([]int, shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewRingIDs(ids, vnodes, seed)
+}
+
+// NewRingIDs places vnodes points for each listed shard id — the
+// elastic-resize form of NewRing, covering an arbitrary live-shard set.
+// A shard's points depend only on its own id (and the seed), so
+// NewRing(n, v, s) equals NewRingIDs([0..n-1], v, s), and adding or
+// removing one shard moves exactly the arcs that change hands — every
+// other key keeps its home.
+func NewRingIDs(ids []int, vnodes int, seed uint64) *Ring {
+	if len(ids) == 0 || vnodes <= 0 {
+		panic("scaleout: ring needs at least one shard id and vnodes >= 1")
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for _, s := range ids {
 		for v := 0; v < vnodes; v++ {
 			h := mix64(seed ^ mix64(uint64(s)<<32|uint64(v)))
 			r.points = append(r.points, ringPoint{hash: h, shard: s})
 		}
 	}
 	// Sort by position; ties (vanishingly rare) break by shard id so the
-	// ring is a pure function of (shards, vnodes, seed).
+	// ring is a pure function of (ids, vnodes, seed).
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
 			return r.points[i].hash < r.points[j].hash

@@ -188,3 +188,9 @@ func TestRouteBenchZeroAlloc(t *testing.T) {
 		t.Fatal("impossible checksum") // keep sink live
 	}
 }
+
+func TestMigrationFailoverReplayBenchSmoke(t *testing.T) {
+	if BenchMigrationFailoverReplay(1500) == 0 {
+		t.Fatal("fault-path kernel did no work")
+	}
+}
