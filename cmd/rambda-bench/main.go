@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_6.json
+//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_7.json
 //	go run ./cmd/rambda-bench -skip-figures          # microbenchmarks only
-//	go run ./cmd/rambda-bench -quick -baseline BENCH_5.json
+//	go run ./cmd/rambda-bench -quick -baseline BENCH_6.json
+//	go run ./cmd/rambda-bench -quick -sim-parallel 4 # partitioned engine, 4 goroutines per sim
 //
 // With -baseline, the run fails (exit 1) when anything regresses:
 //   - a microbenchmark's machine-normalized score (ns/op divided by the
@@ -80,6 +81,7 @@ type report struct {
 	Schema        string                  `json:"schema"`
 	Quick         bool                    `json:"quick"`
 	Parallel      int                     `json:"parallel"`
+	SimParallel   int                     `json:"sim_parallel,omitempty"`
 	Go            string                  `json:"go"`
 	CalibrationNs float64                 `json:"calibration_ns_per_op"`
 	Figures       map[string]figureResult `json:"figures"`
@@ -99,6 +101,7 @@ var microKernels = []struct {
 	{"HistogramRecord", func(n int) { sim.BenchHistogramRecord(n) }},
 	{"HistogramPercentile", func(n int) { sim.BenchHistogramPercentile(n) }},
 	{"ZipfNext", func(n int) { sim.BenchZipf(n) }},
+	{"ParallelEpochBarrier", func(n int) { sim.BenchParallelEpochBarrier(n) }},
 	{"RCWriteHotPath", func(n int) { rnic.BenchWriteHotPath(n) }},
 	{"RCRetransmitStorm", func(n int) { rnic.BenchRetransmitStorm(n) }},
 	{"ChainFailoverReplay", func(n int) { chainrep.BenchFailoverReplay(n) }},
@@ -109,7 +112,8 @@ var microKernels = []struct {
 func main() {
 	quick := flag.Bool("quick", false, "run figures at quick scale (mirrors rambda-figures -quick)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for figure sweep points")
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	simParallel := flag.Int("sim-parallel", 1, "goroutines per simulation for the partitioned engine and its pipelined streams")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	only := flag.String("only", "", "time a single figure id (e.g. fig7)")
 	skipFigures := flag.Bool("skip-figures", false, "skip figure timings, run only the sim microbenchmarks")
 	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json to compare microbenchmarks against")
@@ -120,13 +124,15 @@ func main() {
 	flag.Parse()
 
 	runner.SetDefault(*parallel)
+	sim.SetParallel(*simParallel)
 	rep := report{
-		Schema:   "rambda-bench/1",
-		Quick:    *quick,
-		Parallel: *parallel,
-		Go:       runtime.Version(),
-		Figures:  map[string]figureResult{},
-		Micro:    map[string]microResult{},
+		Schema:      "rambda-bench/1",
+		Quick:       *quick,
+		Parallel:    *parallel,
+		SimParallel: *simParallel,
+		Go:          runtime.Version(),
+		Figures:     map[string]figureResult{},
+		Micro:       map[string]microResult{},
 	}
 
 	// Calibration first, on a quiet process.
@@ -236,6 +242,11 @@ func compareBaseline(rep *report, path string, maxRegress float64) (failed bool)
 		fmt.Fprintf(os.Stderr, "baseline %s has no calibration; skipping regression check\n", path)
 		return false
 	}
+	// Kernels whose wall time is dominated by goroutine wakeups rather
+	// than single-threaded compute: the RNGUint64 calibration does not
+	// normalize scheduler latency across machines, so their times are
+	// recorded but not gated. Alloc counts are still checked.
+	schedulerBound := map[string]bool{"ParallelEpochBarrier": true}
 	for name, cur := range rep.Micro {
 		b, ok := base.Micro[name]
 		if !ok || b.Normalized <= 0 || name == "RNGUint64" {
@@ -244,8 +255,12 @@ func compareBaseline(rep *report, path string, maxRegress float64) (failed bool)
 		ratio := cur.Normalized / b.Normalized
 		status := "ok"
 		if ratio > 1+maxRegress {
-			status = "REGRESSION"
-			failed = true
+			if schedulerBound[name] {
+				status = "slower (not gated: scheduler-bound)"
+			} else {
+				status = "REGRESSION"
+				failed = true
+			}
 		}
 		// Alloc counts are deterministic per op; one alloc of slack
 		// absorbs testing.Benchmark's occasional warmup remainder.
@@ -257,6 +272,11 @@ func compareBaseline(rep *report, path string, maxRegress float64) (failed bool)
 			name, b.Normalized, b.AllocsPerOp, cur.Normalized, cur.AllocsPerOp, ratio, status)
 	}
 	// Figure alloc counts are only comparable at the same sweep scale.
+	// Tiny figures (a few thousand allocs) are dominated by harness and
+	// engine setup, where a handful of extra allocations blows past any
+	// ratio; an absolute slack keeps the gate meaningful for the large
+	// sweeps without tripping on setup noise.
+	const figureAllocSlack = 8192
 	if rep.Quick == base.Quick {
 		for id, cur := range rep.Figures {
 			b, ok := base.Figures[id]
@@ -265,7 +285,7 @@ func compareBaseline(rep *report, path string, maxRegress float64) (failed bool)
 			}
 			ratio := float64(cur.Allocs) / float64(b.Allocs)
 			status := "ok"
-			if ratio > 1+maxRegress {
+			if ratio > 1+maxRegress && cur.Allocs-b.Allocs > figureAllocSlack {
 				status = "ALLOC REGRESSION"
 				failed = true
 			}

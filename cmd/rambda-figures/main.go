@@ -7,6 +7,7 @@
 //	go run ./cmd/rambda-figures -only fig8   # one experiment
 //	go run ./cmd/rambda-figures -quick       # smaller workloads
 //	go run ./cmd/rambda-figures -parallel 1  # sequential (pre-harness behaviour)
+//	go run ./cmd/rambda-figures -sim-parallel 4  # partitioned engine, 4 goroutines per sim
 //
 // Every figure enumerates its sweep as independent runner jobs; the
 // CLI flattens all selected figures into a single worker pool so whole
@@ -26,12 +27,14 @@ import (
 
 	"rambda/internal/experiments"
 	"rambda/internal/runner"
+	"rambda/internal/sim"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos, breakdown, scaleout, chaos-scaleout")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
+	simParallel := flag.Int("sim-parallel", 1, "goroutines per simulation for the partitioned engine and its pipelined streams (1 = sequential; output is byte-identical for every value)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after all figures) to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -82,6 +85,7 @@ func main() {
 	}()
 
 	runner.SetDefault(*parallel)
+	sim.SetParallel(*simParallel)
 
 	specs := experiments.StandardSpecsPaths(*quick, experiments.ObsPaths{
 		TraceOut:                *traceOut,

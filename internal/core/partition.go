@@ -1,0 +1,31 @@
+package core
+
+import (
+	"rambda/internal/interconnect"
+	"rambda/internal/sim"
+)
+
+// CrossLookahead derives the conservative lookahead for a partition cut
+// of the machine graph from the duplex paths that cross it: the minimum
+// over all crossing links of the minimum one-way wire latency
+// (propagation plus the serialization of the smallest frame — see
+// NetLink.MinLatency). A partitioned engine may advance either side of
+// the cut this far past the other's clock without waiting, because no
+// message can cross the cut faster (DESIGN.md §12).
+//
+// Machines connected via ConnectMachines interact only through these
+// duplexes, so the cut's lookahead is exactly this bound; at the
+// testbed's 25 GbE characteristics it is NetOneWay plus one header
+// serialization, comfortably in the µs range the epochs batch against.
+func CrossLookahead(links ...*interconnect.Duplex) sim.Duration {
+	if len(links) == 0 {
+		panic("core: CrossLookahead over an empty cut — the partitions are not connected")
+	}
+	la := sim.Duration(sim.MaxTime)
+	for _, d := range links {
+		if l := d.Lookahead(); l < la {
+			la = l
+		}
+	}
+	return la
+}

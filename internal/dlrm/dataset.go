@@ -82,23 +82,33 @@ func NewDataset(cat Category, seed uint64) *Dataset {
 	}
 }
 
-// NextQuery draws the next query.
+// NextQuery draws the next query into fresh slices; hot paths use
+// NextQueryInto.
 func (d *Dataset) NextQuery() Query {
-	q := Query{
-		Bundles: make([]int, 0, d.Cat.BundlesPerQuery),
-		Singles: make([]int, 0, d.Cat.SinglesPerQuery),
-	}
-	seen := make(map[int]bool, d.Cat.BundlesPerQuery)
+	var q Query
+	d.NextQueryInto(&q)
+	return q
+}
+
+// NextQueryInto refills q from the stream, reusing its backing slices.
+// The RNG draw and rejection sequence is identical to the allocating
+// form: bundle dedup is a linear scan over the (at most a handful of)
+// bundles drawn so far, replacing the per-query map that dominated the
+// fig13 allocation profile together with Table.Row.
+func (d *Dataset) NextQueryInto(q *Query) {
+	q.Bundles = q.Bundles[:0]
+	q.Singles = q.Singles[:0]
+drawing:
 	for len(q.Bundles) < d.Cat.BundlesPerQuery {
 		b := int(d.bundleZipf.Next())
-		if seen[b] {
-			continue
+		for _, prev := range q.Bundles {
+			if prev == b {
+				continue drawing
+			}
 		}
-		seen[b] = true
 		q.Bundles = append(q.Bundles, b)
 	}
 	for i := 0; i < d.Cat.SinglesPerQuery; i++ {
 		q.Singles = append(q.Singles, d.rng.Intn(d.Cat.Rows))
 	}
-	return q
 }

@@ -12,9 +12,11 @@ import (
 // memoization tables sized at 0.25x the original embedding table.
 type Memo struct {
 	table *Table
-	// rowFor maps bundle id -> memo row; only the hottest bundles fit
-	// the budget.
-	rowFor map[int]int
+	// memoized is the number of bundles that fit the budget. Bundles
+	// arrive hottest-first and memo row b holds bundle b's sum, so the
+	// id -> row map is the identity over [0, memoized) — a bound check,
+	// not a map lookup, on the per-request gather path.
+	memoized int
 }
 
 // BuildMemo precomputes bundle sums from src into a memo table of at
@@ -34,29 +36,37 @@ func BuildMemo(space *memspace.Space, name string, src *Table, bundles [][]int,
 		panic("dlrm: no bundles to memoize")
 	}
 	memoTable := NewTable(space, name, n, src.Dim, kind, rng)
-	m := &Memo{table: memoTable, rowFor: make(map[int]int, n)}
+	m := &Memo{table: memoTable, memoized: n}
+	// One scratch row for the whole build: AggSum starts every bundle
+	// from zero either way, so zeroing + ReduceRowInto is bit-identical
+	// to the old fresh-slice + Row + Reduce per bundle — without the
+	// per-item row materialization that dominated build allocations.
+	sum := make([]float32, src.Dim)
 	for b := 0; b < n; b++ {
-		sum := make([]float32, src.Dim)
+		for j := range sum {
+			sum[j] = 0
+		}
 		for i, item := range bundles[b] {
-			Reduce(AggSum, sum, src.Row(item), 1, i == 0)
+			src.ReduceRowInto(AggSum, sum, item, 1, i == 0)
 		}
 		memoTable.SetRow(b, sum)
-		m.rowFor[b] = b
 	}
 	return m
 }
 
 // Lookup returns the memo row for a bundle, if memoized.
 func (m *Memo) Lookup(bundle int) (int, bool) {
-	r, ok := m.rowFor[bundle]
-	return r, ok
+	if bundle >= 0 && bundle < m.memoized {
+		return bundle, true
+	}
+	return 0, false
 }
 
 // Table exposes the memo's backing table (for access traces).
 func (m *Memo) Table() *Table { return m.table }
 
 // Memoized reports how many bundles fit the budget.
-func (m *Memo) Memoized() int { return len(m.rowFor) }
+func (m *Memo) Memoized() int { return m.memoized }
 
 // OverheadRatio reports memo bytes relative to the source table.
 func (m *Memo) OverheadRatio(src *Table) float64 {

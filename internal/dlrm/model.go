@@ -13,7 +13,7 @@ import (
 // throughput (Sec. VI-D).
 type MLP struct {
 	Dim, Hidden int
-	w1          [][]float32 // [hidden][dim]
+	w1          []float32 // row-major [hidden][dim], flat for locality
 	b1          []float32
 	w2          []float32 // [hidden]
 	b2          float32
@@ -25,12 +25,9 @@ func NewMLP(dim, hidden int, rng *sim.RNG) *MLP {
 		panic("dlrm: bad MLP shape")
 	}
 	m := &MLP{Dim: dim, Hidden: hidden}
-	m.w1 = make([][]float32, hidden)
+	m.w1 = make([]float32, hidden*dim)
 	for i := range m.w1 {
-		m.w1[i] = make([]float32, dim)
-		for j := range m.w1[i] {
-			m.w1[i][j] = float32(rng.Float64()*0.2 - 0.1)
-		}
+		m.w1[i] = float32(rng.Float64()*0.2 - 0.1)
 	}
 	m.b1 = make([]float32, hidden)
 	m.w2 = make([]float32, hidden)
@@ -41,7 +38,8 @@ func NewMLP(dim, hidden int, rng *sim.RNG) *MLP {
 }
 
 // Forward computes the score for a reduced embedding vector and returns
-// the FLOP count.
+// the FLOP count. The accumulation order matches the original nested
+// row-by-row loop exactly, so scores are bit-stable.
 func (m *MLP) Forward(x []float32) (float32, int) {
 	if len(x) != m.Dim {
 		panic("dlrm: MLP input dimension mismatch")
@@ -49,8 +47,10 @@ func (m *MLP) Forward(x []float32) (float32, int) {
 	var out float32
 	for i := 0; i < m.Hidden; i++ {
 		acc := m.b1[i]
-		for j := 0; j < m.Dim; j++ {
-			acc += m.w1[i][j] * x[j]
+		row := m.w1[i*m.Dim : (i+1)*m.Dim]
+		xr := x[:len(row)]
+		for j, v := range xr {
+			acc += row[j] * v
 		}
 		if acc > 0 { // ReLU
 			out += acc * m.w2[i]
@@ -89,12 +89,38 @@ type InferStats struct {
 	FLOPs int
 }
 
+// InferScratch is caller-owned reuse storage for InferInto, following
+// the §8 ownership discipline: the caller keeps one per request stream
+// and the steady state allocates nothing once both buffers reach their
+// high-water marks.
+type InferScratch struct {
+	Acc   []float32
+	Trace []Access
+}
+
 // Infer runs the embedding reduction (memoized when possible and when
 // the operator is a sum — memoized partial results only compose under
-// addition) followed by the MLP, returning the score.
+// addition) followed by the MLP, returning the score. The returned
+// slices are freshly allocated; hot paths use InferInto.
 func (m *Model) Infer(q Query, op AggOp) (float32, []float32, InferStats) {
-	acc := make([]float32, m.Table.Dim)
+	var sc InferScratch
+	return m.InferInto(q, op, &sc)
+}
+
+// InferInto is Infer against caller scratch: the accumulator and trace
+// live in sc and are overwritten on the next call. The arithmetic
+// (decode order, fold order, zero initialization) is bit-identical to
+// the allocating form.
+func (m *Model) InferInto(q Query, op AggOp, sc *InferScratch) (float32, []float32, InferStats) {
+	if cap(sc.Acc) < m.Table.Dim {
+		sc.Acc = make([]float32, m.Table.Dim)
+	}
+	acc := sc.Acc[:m.Table.Dim]
+	for i := range acc {
+		acc[i] = 0
+	}
 	var st InferStats
+	st.Trace = sc.Trace[:0]
 	first := true
 
 	useMemo := m.Memo != nil && op == AggSum
@@ -103,7 +129,7 @@ func (m *Model) Infer(q Query, op AggOp) (float32, []float32, InferStats) {
 			if row, ok := m.Memo.Lookup(b); ok {
 				mt := m.Memo.Table()
 				st.Trace = append(st.Trace, Access{Addr: mt.RowAddr(row), Bytes: mt.RowBytes()})
-				Reduce(AggSum, acc, mt.Row(row), 1, first)
+				mt.ReduceRowInto(AggSum, acc, row, 1, first)
 				first = false
 				st.MemoHits++
 				st.ReducedVectors++
@@ -112,19 +138,20 @@ func (m *Model) Infer(q Query, op AggOp) (float32, []float32, InferStats) {
 		}
 		for _, item := range m.bundles[b] {
 			st.Trace = append(st.Trace, Access{Addr: m.Table.RowAddr(item), Bytes: m.Table.RowBytes()})
-			Reduce(op, acc, m.Table.Row(item), 1, first)
+			m.Table.ReduceRowInto(op, acc, item, 1, first)
 			first = false
 			st.ReducedVectors++
 		}
 	}
 	for _, item := range q.Singles {
 		st.Trace = append(st.Trace, Access{Addr: m.Table.RowAddr(item), Bytes: m.Table.RowBytes()})
-		Reduce(op, acc, m.Table.Row(item), 1, first)
+		m.Table.ReduceRowInto(op, acc, item, 1, first)
 		first = false
 		st.ReducedVectors++
 	}
 
 	score, flops := m.MLP.Forward(acc)
 	st.FLOPs = flops
+	sc.Acc, sc.Trace = acc, st.Trace
 	return score, acc, st
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package dlrm
+
+// raceEnabled skips steady-state allocation guards when the race
+// detector's instrumentation would distort the counts.
+const raceEnabled = false

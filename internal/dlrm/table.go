@@ -123,6 +123,45 @@ func (o AggOp) String() string {
 	}
 }
 
+// ReduceRowInto folds row i of the table into acc under op without
+// materializing the row: values decode straight from the backing bytes
+// in index order, so the arithmetic is bit-identical to
+// Reduce(op, acc, t.Row(i), weight, first) while allocating nothing.
+// This is the gather hot path — Row's per-call []float32 was the bulk
+// of fig13's ~6.9M allocations per run.
+func (t *Table) ReduceRowInto(op AggOp, acc []float32, i int, weight float32, first bool) {
+	raw := t.space.Slice(t.RowAddr(i), t.RowBytes())
+	// Reslicing acc to the decoded width lets the compiler drop the
+	// per-element bounds checks in the hot loops below.
+	acc = acc[:len(raw)/4]
+	switch op {
+	case AggSum:
+		for j := range acc {
+			acc[j] += math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+		}
+	case AggDot:
+		for j := range acc {
+			acc[j] += math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:])) * weight
+		}
+	case AggMax:
+		for j := range acc {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+			if first || v > acc[j] {
+				acc[j] = v
+			}
+		}
+	case AggMin:
+		for j := range acc {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+			if first || v < acc[j] {
+				acc[j] = v
+			}
+		}
+	default:
+		panic("dlrm: unknown aggregation operator")
+	}
+}
+
 // Reduce folds vec into acc under op. weight applies to AggDot (and is
 // ignored elsewhere). first marks the initial fold.
 func Reduce(op AggOp, acc, vec []float32, weight float32, first bool) {

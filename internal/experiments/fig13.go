@@ -65,6 +65,31 @@ const (
 	cpuDLRMDRAMFactor = 3.2
 )
 
+// fig13Work is one precomputed request of the DLRM stream: the query,
+// its wire sizes, and the inference trace/stats. The stream is
+// timing-independent — query k is consumed by the k-th request in walk
+// order regardless of simulated time — so the pipeline produces it
+// ahead of the timing walk; sequence position is the lookahead
+// (DESIGN.md §12, index-domain mode).
+type fig13Work struct {
+	q     dlrm.Query
+	sc    dlrm.InferScratch
+	st    dlrm.InferStats
+	reqB  int
+	respB int
+}
+
+// fig13Stream precomputes n requests through the zero-alloc gather
+// path; the scratch per ring slot keeps the steady state allocation
+// free at any worker count.
+func fig13Stream(ds *dlrm.Dataset, model *dlrm.Model, n int) *sim.Pipeline[fig13Work] {
+	return sim.NewPipeline(n, 64, 16, func(_ int, w *fig13Work) {
+		ds.NextQueryInto(&w.q)
+		w.reqB, w.respB = dlrmWire(w.q, ds.Cat.BundleSize)
+		_, _, w.st = model.InferInto(w.q, dlrm.AggSum, &w.sc)
+	})
+}
+
 // fig13CPU measures MERCI reduction on k cores behind the RDMA network
 // front-end.
 func fig13CPU(cat dlrm.Category, cfg Fig13Config, cores int) float64 {
@@ -77,23 +102,23 @@ func fig13CPU(cat dlrm.Category, cfg Fig13Config, cores int) float64 {
 	if perClient < 1 {
 		perClient = 1
 	}
+	stream := fig13Stream(ds, model, clients*perClient)
+	defer stream.Close()
 	res := sim.ClosedLoop{Clients: clients, PerClient: perClient, Warmup: 1,
 		Stagger: 60 * sim.Nanosecond, Jitter: 300 * sim.Nanosecond, JitterSeed: cfg.Seed}.Run(
 		func(_ int, issue sim.Time) sim.Time {
-			q := ds.NextQuery()
-			reqB, respB := dlrmWire(q, ds.Cat.BundleSize)
-			t := net.AtoB.Send(issue, reqB)
-			_, _, st := model.Infer(q, dlrm.AggSum)
+			w := stream.Next()
+			t := net.AtoB.Send(issue, w.reqB)
 			t = m.CPU.Process(t, hostcpu.Work{
-				Cycles:      cpuDLRMBaseCycles + cpuDLRMPerRowCycles*st.ReducedVectors,
-				Accesses:    len(st.Trace),
+				Cycles:      cpuDLRMBaseCycles + cpuDLRMPerRowCycles*w.st.ReducedVectors,
+				Accesses:    len(w.st.Trace),
 				AccessBytes: model.Table.RowBytes(),
 				Addr:        model.Table.Range().Base,
 				Parallel:    true,
 				MLP:         cpuDLRMGatherMLP,
 				DRAMFactor:  cpuDLRMDRAMFactor,
 			})
-			return net.BtoA.Send(t, respB)
+			return net.BtoA.Send(t, w.respB)
 		})
 	return res.Throughput
 }
@@ -121,36 +146,36 @@ func fig13Rambda(cat dlrm.Category, cfg Fig13Config, variant core.AccelVariant) 
 	if perClient < 1 {
 		perClient = 1
 	}
+	stream := fig13Stream(ds, model, clients*perClient)
+	defer stream.Close()
+	addrs := make([]memspace.Addr, 0, 64)
 	res := sim.ClosedLoop{Clients: clients, PerClient: perClient, Warmup: 1,
 		Stagger: 60 * sim.Nanosecond, Jitter: 300 * sim.Nanosecond, JitterSeed: cfg.Seed}.Run(
 		func(_ int, issue sim.Time) sim.Time {
-			q := ds.NextQuery()
-			reqB, respB := dlrmWire(q, ds.Cat.BundleSize)
-			t := net.AtoB.Send(issue, reqB)
+			w := stream.Next()
+			t := net.AtoB.Send(issue, w.reqB)
 			// Preprocessing runs on one CPU core (the paper observes
 			// ~60% of a core keeps up); request and model-ready input
 			// cross the intra-machine rings.
-			t = ctx.InvokeCPU(t, reqB, 500)
+			t = ctx.InvokeCPU(t, w.reqB, 500)
 
-			_, _, st := model.Infer(q, dlrm.AggSum)
 			if variant == core.AccelBase {
 				// Dense gather over the cc-link: serial issue.
-				for _, a := range st.Trace {
+				for _, a := range w.st.Trace {
 					t = m.Accel.ReadDataBlocking(t, a.Addr, a.Bytes)
 				}
 			} else {
 				// 64-wide issue against accelerator-local memory.
-				addrs := make([]memspace.Addr, 0, 64)
-				for i := 0; i < len(st.Trace); i += 64 {
+				for i := 0; i < len(w.st.Trace); i += 64 {
 					addrs = addrs[:0]
-					for j := i; j < len(st.Trace) && j < i+64; j++ {
-						addrs = append(addrs, st.Trace[j].Addr)
+					for j := i; j < len(w.st.Trace) && j < i+64; j++ {
+						addrs = append(addrs, w.st.Trace[j].Addr)
 					}
 					t = m.Accel.ReadDataWave(t, addrs, model.Table.RowBytes())
 				}
 			}
-			t = ctx.Compute(t, apuReduceCyclesPerRow*st.ReducedVectors+st.FLOPs/64)
-			return net.BtoA.Send(t, respB)
+			t = ctx.Compute(t, apuReduceCyclesPerRow*w.st.ReducedVectors+w.st.FLOPs/64)
+			return net.BtoA.Send(t, w.respB)
 		})
 	return res.Throughput
 }

@@ -401,6 +401,15 @@ type kvsCaller interface {
 	callOn(id int, now sim.Time, req kvs.Request) (kvs.Response, sim.Time)
 }
 
+// kvsWork is one pipelined request slot: the generator's key/value are
+// copied in (next() reuses its own buffers per call), so a slot stays
+// valid for the one request that consumes it.
+type kvsWork struct {
+	op  kvs.Op
+	key []byte
+	val []byte
+}
+
 func measureKVS(cfg KVSConfig, sys kvsCaller, skewed, writes bool, window int) *sim.Result {
 	w := newKVSWorkload(cfg, skewed, writes)
 	total := cfg.Connections * window
@@ -408,9 +417,25 @@ func measureKVS(cfg KVSConfig, sys kvsCaller, skewed, writes bool, window int) *
 	if perClient < 1 {
 		perClient = 1
 	}
+	// The key stream is timing-independent (request k is consumed by the
+	// k-th request in walk order), so the generator runs ahead of the
+	// timing walk through the pipeline's slot ring.
+	stream := sim.NewPipeline(total*perClient, 64, 16, func(_ int, wk *kvsWork) {
+		req := w.next()
+		wk.op = req.Op
+		wk.key = append(wk.key[:0], req.Key...)
+		if req.Op == kvs.OpPut {
+			wk.val = append(wk.val[:0], req.Val...)
+		}
+	})
+	defer stream.Close()
 	return sim.ClosedLoop{Clients: total, PerClient: perClient, Warmup: 2, Stagger: 40 * sim.Nanosecond, Jitter: 400 * sim.Nanosecond, JitterSeed: cfg.Seed}.Run(
 		func(id int, issue sim.Time) sim.Time {
-			req := w.next()
+			wk := stream.Next()
+			req := kvs.Request{Op: wk.op, Key: wk.key}
+			if wk.op == kvs.OpPut {
+				req.Val = wk.val
+			}
 			resp, done := sys.callOn(id, issue, req)
 			if resp.Status == kvs.StatusError {
 				panic("kvs experiment: server error")

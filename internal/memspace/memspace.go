@@ -76,6 +76,10 @@ type Region struct {
 // Bytes exposes the region's backing storage.
 func (r *Region) Bytes() []byte { return r.data }
 
+// Phantom reports whether the region is timing-only (no backing
+// storage).
+func (r *Region) Phantom() bool { return r.data == nil }
+
 // Slice returns the backing bytes for [addr, addr+size) inside the
 // region.
 func (r *Region) Slice(addr Addr, size int) []byte {
@@ -83,6 +87,9 @@ func (r *Region) Slice(addr Addr, size int) []byte {
 	if !r.Contains(addr) || uint64(off)+uint64(size) > r.Size {
 		panic(fmt.Sprintf("memspace: [%#x,+%d) outside region %q [%#x,+%d)",
 			addr, size, r.Name, r.Base, r.Size))
+	}
+	if r.data == nil {
+		panic(fmt.Sprintf("memspace: byte access to phantom region %q", r.Name))
 	}
 	return r.data[off : uint64(off)+uint64(size)]
 }
@@ -110,6 +117,20 @@ func New() *Space {
 // allocation failures here are programming errors, not runtime
 // conditions.
 func (s *Space) Alloc(name string, size uint64, kind Kind) *Region {
+	return s.alloc(name, size, kind, true)
+}
+
+// AllocPhantom reserves a region with no backing storage: the address
+// range and kind participate in Region/KindOf lookups — everything the
+// timing models consult — but the bytes are never materialized. Use it
+// for regions whose content no agent ever reads or writes, e.g. a DMA
+// target whose steering depends only on the region kind (fig5's 1 GB
+// working set). Byte access through Slice/Read/Write panics.
+func (s *Space) AllocPhantom(name string, size uint64, kind Kind) *Region {
+	return s.alloc(name, size, kind, false)
+}
+
+func (s *Space) alloc(name string, size uint64, kind Kind, backed bool) *Region {
 	if size == 0 {
 		panic("memspace: Alloc with zero size")
 	}
@@ -118,7 +139,9 @@ func (s *Space) Alloc(name string, size uint64, kind Kind) *Region {
 		Name:  name,
 		Kind:  kind,
 		Range: Range{Base: s.next, Size: size},
-		data:  make([]byte, size),
+	}
+	if backed {
+		r.data = make([]byte, size)
 	}
 	s.regions = append(s.regions, r)
 	s.next += Addr(size)

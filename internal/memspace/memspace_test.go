@@ -139,3 +139,32 @@ func TestTotalAllocated(t *testing.T) {
 		t.Fatal("Regions() wrong length")
 	}
 }
+
+func TestAllocPhantom(t *testing.T) {
+	s := New()
+	s.Alloc("pre", 64, KindNVM)
+	ph := s.AllocPhantom("dma-buf", 1<<20, KindDRAM)
+	post := s.Alloc("post", 64, KindDRAM)
+
+	if !ph.Phantom() || ph.Bytes() != nil {
+		t.Fatal("phantom region reports backing storage")
+	}
+	// Address-space behaviour is indistinguishable from a backed region:
+	// kind steering and neighbour layout see the same map.
+	if got := s.KindOf(ph.Base + 12345); got != KindDRAM {
+		t.Fatalf("KindOf inside phantom = %v", got)
+	}
+	if s.Region(ph.End()-1) != ph {
+		t.Fatal("Region lookup missed the phantom")
+	}
+	if post.Base != ph.End() {
+		t.Fatalf("phantom did not reserve address space: post at %#x, want %#x", post.Base, ph.End())
+	}
+	// Byte access is a programming error, not a silent zero read.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slice into a phantom region did not panic")
+		}
+	}()
+	s.Slice(ph.Base, 8)
+}

@@ -1,0 +1,45 @@
+package scaleout
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"rambda/internal/sim"
+)
+
+// Shard construction runs as unlinked partitions of the parallel
+// engine; a cluster built at any -sim-parallel value must be
+// indistinguishable — same stored bytes, same request timing — from
+// the sequential build.
+func TestNewParallelBuildDeterministic(t *testing.T) {
+	run := func(workers int) ([]byte, sim.Time) {
+		sim.SetParallel(workers)
+		defer sim.SetParallel(1)
+		cfg := testClusterConfig()
+		cfg.Shards = 4
+		c := New(cfg)
+		const keys = 96
+		now := preloadN(c, keys)
+		fe := c.NewFrontend()
+		var key []byte
+		var blob []byte
+		val := make([]byte, 8)
+		for i := 0; i < keys; i++ {
+			key = appendBenchKey(key[:0], i)
+			got, done := fe.Get(now, key)
+			blob = append(blob, got...)
+			binary.LittleEndian.PutUint64(val, uint64(done))
+			blob = append(blob, val...)
+			now = done
+		}
+		return blob, now
+	}
+	blob1, end1 := run(1)
+	for _, w := range []int{2, 4} {
+		blobW, endW := run(w)
+		if end1 != endW || !bytes.Equal(blob1, blobW) {
+			t.Fatalf("workers=%d: cluster diverged from sequential build (end %v vs %v)", w, endW, end1)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // gapTable indexes a resource's backfillable idle windows so that
 // Resource.place no longer pays O(gaps) per Acquire. It is the indexed
 // replacement for the original flat `[]gap` slice, and its contract is
@@ -24,7 +26,11 @@ package sim
 //  2. per-block summaries (min start, max end, max length over 64-gap
 //     blocks): a block is scanned only if it can hold a gap covering
 //     [now, now+occupy] or a future gap that fits and could still beat
-//     the best candidate so far;
+//     the best candidate so far. Summaries are maintained as
+//     over-approximations (removal rescans a block only when the
+//     removed gap defined an extreme — see maybeRescan): a too-generous
+//     summary can only cause a fruitless block scan, never a different
+//     winner, so the bit-exact contract is unaffected;
 //  3. early exit on the first gap feasible at s == now: no later gap
 //     can strictly beat it, and the original scan would also have kept
 //     it (replacement there requires a strictly earlier start).
@@ -39,10 +45,12 @@ package sim
 type gapTable struct {
 	buf    []gap      // fixed 2*maxGaps slots; live window is [head, tail)
 	blocks []gapBlock // per-block summaries over the full buffer
+	occ    []uint64   // per-block live-slot bitmaps; scans visit only set bits
 	head   int        // oldest slot (may be a tombstone)
 	tail   int        // one past the newest slot
 	live   int        // live (non-tombstone) gaps in [head, tail)
 	maxLen Duration   // upper bound on live gap length; exact after compact
+	maxEnd Time       // upper bound on live gap end; exact after compact
 }
 
 // gapBlock summarizes one gapBlockSize-aligned run of buffer slots.
@@ -69,6 +77,7 @@ func newGapTable() *gapTable {
 	t := &gapTable{
 		buf:    make([]gap, 2*maxGaps),
 		blocks: make([]gapBlock, (2*maxGaps)/gapBlockSize),
+		occ:    make([]uint64, (2*maxGaps)/gapBlockSize),
 	}
 	for i := range t.buf {
 		t.buf[i] = deadGap
@@ -100,6 +109,7 @@ func (t *gapTable) add(g gap) {
 	t.tail++
 	t.live++
 	t.buf[slot] = g
+	t.occ[slot>>gapBlockShift] |= 1 << (slot & (gapBlockSize - 1))
 	blk := &t.blocks[slot>>gapBlockShift]
 	if g.start < blk.minStart {
 		blk.minStart = g.start
@@ -113,6 +123,9 @@ func (t *gapTable) add(g gap) {
 			t.maxLen = l
 		}
 	}
+	if g.end > t.maxEnd {
+		t.maxEnd = g.end
+	}
 }
 
 // evictOldest tombstones the oldest live gap.
@@ -120,13 +133,12 @@ func (t *gapTable) evictOldest() {
 	for t.buf[t.head] == deadGap {
 		t.head++
 	}
+	g := t.buf[t.head]
 	t.buf[t.head] = deadGap
+	t.occ[t.head>>gapBlockShift] &^= 1 << (t.head & (gapBlockSize - 1))
 	t.head++
 	t.live--
-	// The head block's summary now over-approximates; rescan keeps the
-	// prunes tight. t.maxLen is left as an upper bound (still exact for
-	// the skip) and re-tightened by search misses and compaction.
-	t.rescanBlock((t.head - 1) >> gapBlockShift)
+	t.maybeRescan((t.head-1)>>gapBlockShift, g)
 }
 
 // take removes and returns the gap at slot (previously returned by
@@ -134,12 +146,33 @@ func (t *gapTable) evictOldest() {
 func (t *gapTable) take(slot int) gap {
 	g := t.buf[slot]
 	t.buf[slot] = deadGap
+	t.occ[slot>>gapBlockShift] &^= 1 << (slot & (gapBlockSize - 1))
 	t.live--
-	t.rescanBlock(slot >> gapBlockShift)
+	t.maybeRescan(slot>>gapBlockShift, g)
 	return g
 }
 
-// rescanBlock rebuilds one block's summary from its slots.
+// maybeRescan rebuilds block b's summary only when the gap just removed
+// from it defined one of the summary's extremes. A gap strictly inside
+// all three bounds cannot change them, so the summary stays exact
+// without touching the other 63 slots — and even when a rescan is
+// skipped wrongly-pessimistically (removed gap tied an extreme another
+// gap also achieves), the summary merely over-approximates, which the
+// search prunes tolerate by construction: a too-generous summary scans
+// a block that yields nothing, it never changes the winner.
+func (t *gapTable) maybeRescan(b int, g gap) {
+	blk := &t.blocks[b]
+	if g.start > blk.minStart && g.end < blk.maxEnd && g.end-g.start < blk.maxLen {
+		return
+	}
+	t.rescanBlock(b)
+}
+
+// rescanBlock rebuilds one block's summary from its slots. Tombstones
+// are summary-neutral, so the straight sequential sweep (which the
+// hardware prefetches) beats iterating the occupancy bits when blocks
+// run dense — and blocks are dense by construction, since appends fill
+// them front to back.
 func (t *gapTable) rescanBlock(b int) {
 	lo := b << gapBlockShift
 	blk := deadBlock()
@@ -170,12 +203,22 @@ func (t *gapTable) compact() {
 	for i := n; i < t.tail; i++ {
 		t.buf[i] = deadGap
 	}
+	for i := range t.occ {
+		t.occ[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		t.occ[i>>gapBlockShift] |= 1 << (i & (gapBlockSize - 1))
+	}
 	t.head, t.tail = 0, n
 	t.maxLen = 0
+	t.maxEnd = 0
 	for b := range t.blocks {
 		t.rescanBlock(b)
 		if t.blocks[b].maxLen > t.maxLen {
 			t.maxLen = t.blocks[b].maxLen
+		}
+		if t.blocks[b].maxEnd > t.maxEnd {
+			t.maxEnd = t.blocks[b].maxEnd
 		}
 	}
 }
@@ -188,14 +231,29 @@ func (t *gapTable) search(now Time, occupy Duration) (slot int, start Time) {
 		return -1, 0
 	}
 	target := now + occupy
+	// A feasible gap needs end >= max(now, start) + occupy >= target, so
+	// when even the newest remembered window ends before target the scan
+	// cannot succeed. This is the steady-state fast path: most windows
+	// are wholly in the past, and the table-level bound answers in O(1)
+	// what the per-block maxEnd prunes would answer in O(blocks).
+	if t.maxEnd < target {
+		return -1, 0
+	}
 	best := -1
 	var bestStart Time
 	var tightMax Duration
+	var tightEnd Time
 	lastBlock := (t.tail - 1) >> gapBlockShift
 	for b := t.head >> gapBlockShift; b <= lastBlock; b++ {
+		if t.occ[b] == 0 {
+			continue
+		}
 		blk := &t.blocks[b]
 		if blk.maxLen > tightMax {
 			tightMax = blk.maxLen
+		}
+		if blk.maxEnd > tightEnd {
+			tightEnd = blk.maxEnd
 		}
 		// Any feasible gap ends at or after now+occupy (s >= now always),
 		// so maxEnd < target prunes a block outright — in steady state
@@ -214,20 +272,18 @@ func (t *gapTable) search(now Time, occupy Duration) (slot int, start Time) {
 			continue
 		}
 		lo := b << gapBlockShift
-		hi := lo + gapBlockSize
-		if lo < t.head {
-			lo = t.head
-		}
-		if hi > t.tail {
-			hi = t.tail
-		}
-		for i := lo; i < hi; i++ {
+		// Only live slots carry a set bit (slots before head, past tail,
+		// and tombstones are all clear), and ascending bit order is age
+		// order, so the scan touches exactly the live gaps the original
+		// slot walk would have tested.
+		for mask := t.occ[b]; mask != 0; mask &= mask - 1 {
+			i := lo + bits.TrailingZeros64(mask)
 			g := t.buf[i]
 			s := now
 			if g.start > now {
 				s = g.start
 			}
-			if g.end-s < occupy { // tombstones always fail here
+			if g.end-s < occupy {
 				continue
 			}
 			if s == now {
@@ -241,9 +297,12 @@ func (t *gapTable) search(now Time, occupy Duration) (slot int, start Time) {
 		}
 	}
 	if best < 0 {
-		// Full miss: every block summary was consulted, so tightMax is
-		// the exact live maximum — re-tighten the skip bound.
+		// Full miss: every block summary was consulted, so tightMax and
+		// tightEnd bound the live population — re-tighten the skip
+		// bounds (block summaries may themselves over-approximate, so
+		// these stay upper bounds, which is all the fast paths need).
 		t.maxLen = tightMax
+		t.maxEnd = tightEnd
 	}
 	return best, bestStart
 }
@@ -253,8 +312,11 @@ func (t *gapTable) reset() {
 	for i := t.head; i < t.tail; i++ {
 		t.buf[i] = deadGap
 	}
-	t.head, t.tail, t.live, t.maxLen = 0, 0, 0, 0
+	t.head, t.tail, t.live, t.maxLen, t.maxEnd = 0, 0, 0, 0, 0
 	for i := range t.blocks {
 		t.blocks[i] = deadBlock()
+	}
+	for i := range t.occ {
+		t.occ[i] = 0
 	}
 }

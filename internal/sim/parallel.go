@@ -1,0 +1,350 @@
+package sim
+
+// Conservative, time-windowed parallel DES engine (DESIGN.md §12).
+//
+// A simulation is partitioned into goroutine-owned Partitions that
+// interact only through unidirectional Links. Every link carries a
+// lookahead: a lower bound on how far in the future any message sent
+// over it must land (wire propagation plus the serialization of the
+// smallest frame — see interconnect's MinLatency methods). That bound
+// is exactly what lets one partition advance past another's local clock
+// without waiting for it: if every neighbour's next event is at time t
+// or later, nothing can arrive before t + lookahead.
+//
+// Execution proceeds in epochs. At each epoch the engine computes, on
+// one goroutine, a per-partition horizon
+//
+//	H_i = min over in-links (j -> i) of next_j + lookahead(j->i)
+//
+// (MaxTime for partitions with no in-links, optionally capped at
+// global-min + Window to bound run-ahead buffering). Each partition
+// then steps concurrently, processing its local events and delivered
+// messages with time < H_i and posting messages on its out-links. At
+// the epoch barrier the engine drains every outbox into the destination
+// pending queues in fixed link-creation order — never map order — and
+// merges by timestamp with a stable sort, so ties resolve by (link
+// creation order, FIFO position) no matter how many workers ran.
+//
+// Determinism: partitions share no simulation state, each owns an RNG
+// seeded by an FNV-1a fold of the engine seed and the partition index
+// (FoldSeed, the runner.Seed/SubSeed discipline), and the merge order
+// at barriers is a pure function of the topology. The worker count
+// (SetParallel) therefore cannot influence any simulation outcome; with
+// one worker the partitions step sequentially in index order on the
+// calling goroutine.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// simParallel holds the process-wide intra-simulation worker bound;
+// zero means the sequential default of one.
+var simParallel atomic.Int64
+
+// SetParallel sets the process-wide worker bound for Engine.Run and
+// Pipeline — the -sim-parallel flag threads through this, mirroring
+// runner.SetDefault one level down (workers inside one simulation
+// rather than across sweep points). n < 1 resets to the sequential
+// default. Output is byte-identical for every value.
+func SetParallel(n int) {
+	if n < 1 {
+		n = 0
+	}
+	simParallel.Store(int64(n))
+}
+
+// Parallel returns the current intra-simulation worker bound (>= 1).
+func Parallel() int {
+	if n := int(simParallel.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// FoldSeed derives an independent child seed from a parent seed with
+// the same FNV-1a fold as runner.SubSeed — one stream per partition,
+// disjoint by construction, so event outcomes are independent of the
+// partition count and of scheduling order.
+func FoldSeed(seed uint64, sub int) uint64 {
+	const prime64 = 1099511628211
+	h := seed
+	for i := 0; i < 8; i++ {
+		h ^= uint64(sub>>(8*i)) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// Msg is one cross-partition message: a delivery time and two opaque
+// payload words. Messages are fixed-size so mailboxes never allocate
+// per field; anything larger rides in partition-owned slot arrays
+// indexed by a payload word (see Pipeline).
+type Msg struct {
+	At      Time
+	Payload uint64
+	Aux     uint64
+}
+
+// Link is a unidirectional cross-partition mailbox with conservative
+// lookahead. Only the source partition may Post to it, and only during
+// its own step, so the outbox needs no locking.
+type Link struct {
+	id        int
+	from, to  *Partition
+	lookahead Duration
+	out       []Msg
+}
+
+// Lookahead returns the link's conservative delivery bound.
+func (l *Link) Lookahead() Duration { return l.lookahead }
+
+// StepFunc advances one partition: process local events and the
+// delivered messages (Recv) with time strictly below horizon, post any
+// cross-partition messages, and leave the next local event time via
+// SetNext (MaxTime when drained). It must touch only partition-owned
+// state.
+type StepFunc func(p *Partition, horizon Time)
+
+// Partition is one goroutine-owned slice of the simulation.
+type Partition struct {
+	id   int
+	name string
+	rng  *RNG
+	step StepFunc
+
+	next    Time
+	horizon Time
+	guard   Time // effNext at epoch start; lower-bounds Post times
+
+	pending []Msg // delivered, sorted by At (stable: link order, FIFO)
+	inbox   []Msg // pending prefix with At < horizon, valid during step
+	in      []*Link
+}
+
+// ID returns the partition's index in creation order.
+func (p *Partition) ID() int { return p.id }
+
+// Name returns the partition's label.
+func (p *Partition) Name() string { return p.name }
+
+// RNG returns the partition's private stream, seeded
+// FoldSeed(engineSeed, partitionID).
+func (p *Partition) RNG() *RNG { return p.rng }
+
+// Recv returns the messages delivered for this epoch (At < horizon) in
+// deterministic merge order. Valid only during the step call.
+func (p *Partition) Recv() []Msg { return p.inbox }
+
+// SetNext records the partition's next local event time; MaxTime means
+// the partition is drained and will only wake for messages.
+func (p *Partition) SetNext(t Time) { p.next = t }
+
+// Post sends m on l. The link must originate at this partition and the
+// delivery time must respect the lookahead contract: no message may
+// land earlier than the partition's epoch-start clock plus the link's
+// lookahead. Violations panic — a too-early message is a determinism
+// bug, not a runtime condition.
+func (p *Partition) Post(l *Link, m Msg) {
+	if l.from != p {
+		panic(fmt.Sprintf("sim: partition %q posting on link it does not own", p.name))
+	}
+	if m.At < addSat(p.guard, l.lookahead) {
+		panic(fmt.Sprintf("sim: partition %q posted message at %v < clock %v + lookahead %v",
+			p.name, m.At, p.guard, l.lookahead))
+	}
+	l.out = append(l.out, m)
+}
+
+// effNext is the earliest thing the partition could process: its next
+// local event or the head of its delivered-message queue.
+func (p *Partition) effNext() Time {
+	if len(p.pending) > 0 && p.pending[0].At < p.next {
+		return p.pending[0].At
+	}
+	return p.next
+}
+
+// runStep delivers the epoch's inbox slice and invokes the step.
+func (p *Partition) runStep() {
+	n := sort.Search(len(p.pending), func(i int) bool { return p.pending[i].At >= p.horizon })
+	p.inbox = p.pending[:n:n]
+	p.step(p, p.horizon)
+	if n > 0 {
+		m := copy(p.pending, p.pending[n:])
+		p.pending = p.pending[:m]
+	}
+	p.inbox = nil
+}
+
+// Engine runs a partitioned simulation to completion.
+type Engine struct {
+	seed   uint64
+	window Duration
+	parts  []*Partition
+	links  []*Link
+	epochs int64
+}
+
+// NewEngine creates an empty engine. seed roots every partition's RNG
+// stream via FoldSeed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// SetWindow caps every horizon at the global minimum next-event time
+// plus w, bounding how far a source partition (no in-links) may run
+// ahead of its consumers — a memory bound, not a correctness one.
+// Zero (the default) means unbounded.
+func (e *Engine) SetWindow(w Duration) {
+	if w < 0 {
+		w = 0
+	}
+	e.window = w
+}
+
+// AddPartition registers a partition with its first local event time
+// (MaxTime for purely message-driven partitions) and step function.
+func (e *Engine) AddPartition(name string, next Time, step StepFunc) *Partition {
+	p := &Partition{
+		id:   len(e.parts),
+		name: name,
+		rng:  NewRNG(FoldSeed(e.seed, len(e.parts))),
+		next: next,
+		step: step,
+	}
+	e.parts = append(e.parts, p)
+	return p
+}
+
+// Connect creates a link from one partition to another with the given
+// lookahead, which must be positive: a zero-lookahead cycle cannot make
+// conservative progress.
+func (e *Engine) Connect(from, to *Partition, lookahead Duration) *Link {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: link %q -> %q needs positive lookahead, got %v",
+			from.name, to.name, lookahead))
+	}
+	l := &Link{id: len(e.links), from: from, to: to, lookahead: lookahead}
+	e.links = append(e.links, l)
+	to.in = append(to.in, l)
+	return l
+}
+
+// Epochs reports how many barrier rounds Run executed.
+func (e *Engine) Epochs() int64 { return e.epochs }
+
+// addSat is MaxTime-saturating addition (d >= 0).
+func addSat(t Time, d Duration) Time {
+	if t >= MaxTime-d {
+		return MaxTime
+	}
+	return t + d
+}
+
+// Run executes epochs until every partition is drained and no messages
+// are in flight. The worker count is min(SetParallel, partitions);
+// with one worker, partitions step sequentially in index order on the
+// calling goroutine.
+func (e *Engine) Run() {
+	workers := Parallel()
+	if workers > len(e.parts) {
+		workers = len(e.parts)
+	}
+	active := make([]*Partition, 0, len(e.parts))
+	for {
+		globalMin := MaxTime
+		for _, p := range e.parts {
+			if en := p.effNext(); en < globalMin {
+				globalMin = en
+			}
+		}
+		if globalMin == MaxTime {
+			return // drained: pending queues are empty by effNext
+		}
+		active = active[:0]
+		for _, p := range e.parts {
+			h := MaxTime
+			for _, l := range p.in {
+				if b := addSat(l.from.effNext(), l.lookahead); b < h {
+					h = b
+				}
+			}
+			if e.window > 0 {
+				if w := addSat(globalMin, e.window); w < h {
+					h = w
+				}
+			}
+			p.horizon = h
+			p.guard = p.effNext()
+			if p.guard < h {
+				active = append(active, p)
+			}
+		}
+		if len(active) == 0 {
+			panic("sim: parallel engine cannot progress — a lookahead cycle collapsed to zero")
+		}
+		e.stepAll(workers, active)
+		// Barrier: drain outboxes in link-creation order, then restore
+		// each touched pending queue's time order with a stable sort so
+		// ties keep (link order, FIFO) — never map or scheduling order.
+		for _, l := range e.links {
+			if len(l.out) == 0 {
+				continue
+			}
+			dst := l.to
+			dst.pending = append(dst.pending, l.out...)
+			l.out = l.out[:0]
+			sort.SliceStable(dst.pending, func(i, j int) bool {
+				return dst.pending[i].At < dst.pending[j].At
+			})
+		}
+		e.epochs++
+	}
+}
+
+// stepAll runs the epoch's active partitions. A panic inside a worker
+// is captured and re-raised for the lowest-indexed failing partition,
+// the same deterministic choice the runner makes for jobs.
+func (e *Engine) stepAll(workers int, active []*Partition) {
+	if workers <= 1 || len(active) == 1 {
+		for _, p := range active {
+			p.runStep()
+		}
+		return
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	panics := make([]any, len(active))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							panics[i] = v
+						}
+					}()
+					active[i].runStep()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, v := range panics {
+		if v != nil {
+			panic(fmt.Sprintf("sim: partition %q panicked: %v", active[i].name, v))
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+)
+
+// withParallel runs f at the given worker bound and restores the
+// sequential default afterwards.
+func withParallel(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetParallel(n)
+	defer SetParallel(1)
+	f()
+}
+
+func TestFoldSeedMatchesFNVDiscipline(t *testing.T) {
+	// Distinct subs from the same seed must give distinct streams, and
+	// the fold must be stable (goldens depend on it).
+	a, b := FoldSeed(0xABCD, 0), FoldSeed(0xABCD, 1)
+	if a == b {
+		t.Fatalf("FoldSeed collided: sub 0 and 1 both %#x", a)
+	}
+	if got := FoldSeed(0xABCD, 0); got != a {
+		t.Fatalf("FoldSeed not stable: %#x vs %#x", got, a)
+	}
+	const prime64 = 1099511628211
+	want := uint64(0xABCD)
+	for i := 0; i < 8; i++ {
+		want ^= (7 >> (8 * i)) & 0xff
+		want *= prime64
+	}
+	if got := FoldSeed(0xABCD, 7); got != want {
+		t.Fatalf("FoldSeed(0xABCD, 7) = %#x, want FNV-1a fold %#x", got, want)
+	}
+}
+
+func TestEngineConnectRejectsZeroLookahead(t *testing.T) {
+	eng := NewEngine(1)
+	a := eng.AddPartition("a", 0, func(p *Partition, _ Time) { p.SetNext(MaxTime) })
+	b := eng.AddPartition("b", MaxTime, func(*Partition, Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Connect accepted a zero lookahead")
+		}
+	}()
+	eng.Connect(a, b, 0)
+}
+
+func TestEnginePostRejectsEarlyMessage(t *testing.T) {
+	eng := NewEngine(1)
+	var wire *Link
+	a := eng.AddPartition("a", 0, func(p *Partition, _ Time) {
+		// Delivery at t=5 violates guard(0) + lookahead(10).
+		p.Post(wire, Msg{At: 5})
+		p.SetNext(MaxTime)
+	})
+	b := eng.AddPartition("b", MaxTime, func(*Partition, Time) {})
+	wire = eng.Connect(a, b, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post accepted a message earlier than clock+lookahead")
+		}
+	}()
+	eng.Run()
+}
+
+// pingRun drives a two-partition ping-pong for n rounds and returns a
+// fold of every delivery the pong side observed plus the epoch count.
+func pingRun(workers, n int) (fold uint64, epochs int64) {
+	SetParallel(workers)
+	defer SetParallel(1)
+	const la = Duration(100)
+	eng := NewEngine(0x9106)
+	var ab, ba *Link
+	sent := 0
+	clock := Time(0)
+	a := eng.AddPartition("ping", 0, func(p *Partition, horizon Time) {
+		for _, m := range p.Recv() {
+			fold = fold*1099511628211 ^ uint64(m.At) ^ m.Payload
+		}
+		for ; clock < horizon && sent < n; sent++ {
+			jitter := Duration(p.RNG().Uint64n(50))
+			p.Post(ab, Msg{At: clock + la + jitter, Payload: uint64(sent)})
+			clock += la
+		}
+		if sent == n {
+			p.SetNext(MaxTime)
+		} else {
+			p.SetNext(clock)
+		}
+	})
+	b := eng.AddPartition("pong", MaxTime, func(p *Partition, _ Time) {
+		for _, m := range p.Recv() {
+			p.Post(ba, Msg{At: m.At + la, Payload: m.Payload ^ p.RNG().Uint64()})
+		}
+	})
+	ab = eng.Connect(a, b, la)
+	ba = eng.Connect(b, a, la)
+	eng.Run()
+	return fold, eng.Epochs()
+}
+
+func TestEnginePingPongDeterministic(t *testing.T) {
+	f1, e1 := pingRun(1, 400)
+	if f1 == 0 {
+		t.Fatal("ping-pong folded to zero — no messages observed")
+	}
+	for _, w := range []int{2, 4} {
+		fw, ew := pingRun(w, 400)
+		if fw != f1 || ew != e1 {
+			t.Fatalf("workers=%d diverged: fold %#x/%d epochs vs %#x/%d", w, fw, ew, f1, e1)
+		}
+	}
+}
+
+func TestEngineWindowBoundsRunAhead(t *testing.T) {
+	// A source with no in-links would otherwise run to completion in one
+	// epoch; a window forces it to pace with its consumer.
+	run := func(window Duration) int64 {
+		eng := NewEngine(7)
+		var wire *Link
+		sent := 0
+		t0 := Time(0)
+		src := eng.AddPartition("src", 0, func(p *Partition, horizon Time) {
+			for ; t0 < horizon && sent < 1000; sent++ {
+				p.Post(wire, Msg{At: t0 + 10, Payload: uint64(sent)})
+				t0 += 10
+			}
+			if sent == 1000 {
+				t0 = MaxTime
+			}
+			p.SetNext(t0)
+		})
+		sink := eng.AddPartition("sink", MaxTime, func(p *Partition, _ Time) {
+			_ = p.Recv()
+		})
+		wire = eng.Connect(src, sink, 10)
+		eng.SetWindow(window)
+		eng.Run()
+		return eng.Epochs()
+	}
+	if unbounded := run(0); unbounded > 3 {
+		t.Fatalf("unbounded run took %d epochs, expected source to finish in one burst", unbounded)
+	}
+	if windowed := run(100); windowed < 50 {
+		t.Fatalf("windowed run took only %d epochs — window not limiting run-ahead", windowed)
+	}
+}
+
+// stressRun builds a seeded 6-partition graph (ring plus chords, mixed
+// lookaheads) where every partition generates jittered local events,
+// forwards messages up to a hop budget, and folds every delivery it
+// sees into a per-partition hash. Any ordering difference between
+// worker counts — merge order at barriers, RNG stream mixing,
+// run-ahead differences — changes the fold.
+func stressRun(workers int) [6]uint64 {
+	SetParallel(workers)
+	defer SetParallel(1)
+	const (
+		parts  = 6
+		events = 300
+	)
+	las := []Duration{70, 110, 90, 130, 50, 170, 60, 140}
+	eng := NewEngine(0x57E55)
+	var hashes [6]uint64
+	ps := make([]*Partition, parts)
+	outs := make([][]*Link, parts)
+	for i := 0; i < parts; i++ {
+		i := i
+		sent := 0
+		t0 := Time(0)
+		ps[i] = eng.AddPartition("p", 0, func(p *Partition, horizon Time) {
+			for _, m := range p.Recv() {
+				hashes[i] = hashes[i]*1099511628211 ^ uint64(m.At)<<8 ^ m.Payload ^ m.Aux
+				if m.Aux < 3 { // forward up to 3 hops
+					l := outs[i][int(m.Payload%uint64(len(outs[i])))]
+					p.Post(l, Msg{At: addSat(m.At, l.lookahead), Payload: m.Payload, Aux: m.Aux + 1})
+				}
+			}
+			for ; t0 < horizon && sent < events; sent++ {
+				l := outs[i][p.RNG().Intn(len(outs[i]))]
+				jit := Duration(p.RNG().Uint64n(40))
+				p.Post(l, Msg{At: t0 + l.lookahead + jit, Payload: p.RNG().Uint64()})
+				t0 += Duration(20 + p.RNG().Uint64n(30))
+			}
+			if sent == events {
+				t0 = MaxTime
+			}
+			p.SetNext(t0)
+		})
+	}
+	k := 0
+	for i := 0; i < parts; i++ {
+		outs[i] = append(outs[i], eng.Connect(ps[i], ps[(i+1)%parts], las[k%len(las)]))
+		k++
+		outs[i] = append(outs[i], eng.Connect(ps[i], ps[(i+2)%parts], las[k%len(las)]))
+		k++
+	}
+	eng.SetWindow(500)
+	eng.Run()
+	return hashes
+}
+
+func TestEngineMessageOrderingStress(t *testing.T) {
+	base := stressRun(1)
+	zero := true
+	for _, h := range base {
+		if h != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		t.Fatal("stress graph delivered no messages")
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		if got := stressRun(w); got != base {
+			t.Fatalf("workers=%d diverged from sequential:\n got %v\nwant %v", w, got, base)
+		}
+	}
+}
+
+func TestEnginePartitionRNGIndependentOfTopology(t *testing.T) {
+	// The stream a partition sees depends only on (engine seed, id) —
+	// adding links or partitions after it must not shift it.
+	eng1 := NewEngine(42)
+	p1 := eng1.AddPartition("x", 0, func(*Partition, Time) {})
+	eng2 := NewEngine(42)
+	p2a := eng2.AddPartition("x", 0, func(*Partition, Time) {})
+	eng2.AddPartition("y", 0, func(*Partition, Time) {})
+	if a, b := p1.RNG().Uint64(), p2a.RNG().Uint64(); a != b {
+		t.Fatalf("partition 0 stream shifted by topology: %#x vs %#x", a, b)
+	}
+	if p1.ID() != 0 || p2a.Name() != "x" {
+		t.Fatalf("partition identity accessors wrong: id=%d name=%q", p1.ID(), p2a.Name())
+	}
+}
+
+func TestBenchParallelEpochBarrierDeterministic(t *testing.T) {
+	base := BenchParallelEpochBarrier(200)
+	withParallel(t, 4, func() {
+		if got := BenchParallelEpochBarrier(200); got != base {
+			t.Fatalf("barrier kernel diverged across worker counts: %#x vs %#x", got, base)
+		}
+	})
+}

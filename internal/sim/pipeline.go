@@ -1,0 +1,136 @@
+package sim
+
+// Pipeline is the engine's index-domain mode (DESIGN.md §12): some
+// partitions of a simulation are not separated by wire latency but by
+// *data flow* — a workload generator whose k-th item is consumed by the
+// k-th request in walk order regardless of simulated time. For those,
+// sequence position is the clock and the window is the lookahead: the
+// producer may run at most W items ahead of the consumer, so producing
+// item k needs no knowledge the consumer hasn't already published.
+//
+// Items live in a fixed ring of W slots reused in sequence order, which
+// keeps the §8 scratch-ownership discipline: produce(k, slot) refills a
+// slot in place, and the pointer returned by Next is valid until the
+// next call to Next. Progress is exchanged as batched watermarks over
+// buffered channels (one channel op per B items, not per item), since a
+// per-item handoff would cost more than the work it overlaps.
+//
+// Determinism: a single producer invokes produce(0), produce(1), ... in
+// order, exactly the sequence the consumer would have run inline, so
+// any stateful generator behind produce (RNG streams, zipf draws) sees
+// the same call sequence at every worker count. With Parallel() == 1
+// there is no producer goroutine at all: Next produces on demand on the
+// calling goroutine — byte-for-byte today's sequential loop.
+type Pipeline[T any] struct {
+	slots   []T
+	produce func(k int, slot *T)
+	n       int
+	window  int
+	batch   int
+	inline  bool
+
+	next    int // next sequence index the consumer will take
+	readyWm int // items [0, readyWm) are produced and published
+	ready   chan int
+	free    chan int
+	stop    chan struct{}
+	closed  bool
+}
+
+// NewPipeline streams n items through produce with a ring of window
+// slots and watermark batches of batch items. window is clamped to at
+// least 2*batch so the producer is never stalled by the slot the
+// consumer is still reading. Close must be called (defer it) unless the
+// pipeline is fully drained.
+func NewPipeline[T any](n, window, batch int, produce func(k int, slot *T)) *Pipeline[T] {
+	if batch < 1 {
+		batch = 1
+	}
+	if window < 2*batch {
+		window = 2 * batch
+	}
+	p := &Pipeline[T]{
+		slots:   make([]T, window),
+		produce: produce,
+		n:       n,
+		window:  window,
+		batch:   batch,
+	}
+	// A parallel producer only pays off when there is enough stream to
+	// amortize the goroutine and its channel traffic.
+	if Parallel() <= 1 || n <= 2*batch {
+		p.inline = true
+		return p
+	}
+	p.ready = make(chan int, window/batch+2)
+	p.free = make(chan int, n/batch+2)
+	p.stop = make(chan struct{})
+	go p.run()
+	return p
+}
+
+// run is the producer: fill slots in sequence order, never more than
+// window ahead of the consumer's published free watermark, publishing a
+// ready watermark every batch items. Channel sends synchronize slot
+// memory: a slot is only rewritten after the consumer's free watermark
+// proves it has moved past it.
+func (p *Pipeline[T]) run() {
+	freeWm := 0 // items [0, freeWm) are consumed; slots reusable up to freeWm+window
+	for k := 0; k < p.n; k++ {
+		for k >= freeWm+p.window {
+			select {
+			case freeWm = <-p.free:
+			case <-p.stop:
+				return
+			}
+		}
+		p.produce(k, &p.slots[k%p.window])
+		if (k+1)%p.batch == 0 || k+1 == p.n {
+			select {
+			case p.ready <- k + 1:
+			case <-p.stop:
+				return
+			}
+		}
+	}
+}
+
+// Next returns item `next` of the stream. The pointer stays valid until
+// the following Next call returns its successor (the free watermark
+// always trails the held slot by one, so the ring cannot reuse it
+// earlier). Panics when the stream is over-drained — the caller sized n
+// to the exact request count.
+func (p *Pipeline[T]) Next() *T {
+	idx := p.next
+	if idx >= p.n {
+		panic("sim: pipeline drained past its item count")
+	}
+	p.next++
+	slot := &p.slots[idx%p.window]
+	if p.inline {
+		p.produce(idx, slot)
+		return slot
+	}
+	if idx > 0 && idx%p.batch == 0 {
+		// Publish idx-1, not idx: the pointer handed out for item idx-1
+		// remains valid until this call returns its successor, so its
+		// slot is not yet reusable.
+		p.free <- idx - 1
+	}
+	for p.readyWm <= idx {
+		p.readyWm = <-p.ready
+	}
+	return slot
+}
+
+// Close releases the producer goroutine. Safe to call multiple times
+// and after a full drain; required when the consumer stops early (a
+// panic unwinding through the measurement loop must not leak a blocked
+// producer).
+func (p *Pipeline[T]) Close() {
+	if p.inline || p.closed {
+		return
+	}
+	p.closed = true
+	close(p.stop)
+}
