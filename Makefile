@@ -32,18 +32,18 @@ figures-quick:
 	$(GO) run ./cmd/rambda-figures -quick -parallel $(PARALLEL)
 
 # Performance-regression harness: times every figure plus the sim
-# microbenchmark kernels and writes BENCH_7.json (schema documented in
+# microbenchmark kernels and writes BENCH_8.json (schema documented in
 # cmd/rambda-bench and EXPERIMENTS.md). Runs the partitioned engine at
 # -sim-parallel 4 — output stays byte-identical, only wall time moves.
 bench:
-	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -sim-parallel 4 -out BENCH_7.json -baseline BENCH_6.json
+	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -sim-parallel 4 -out BENCH_8.json -baseline BENCH_7.json
 
 # Figures + microbenchmarks compared against the committed baseline;
 # fails on a >25% machine-normalized time regression or on alloc-count
 # regressions (micro allocs/op and per-figure totals). This is what
 # CI's bench-smoke job runs.
 bench-check:
-	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -sim-parallel 4 -out /tmp/BENCH_ci.json -baseline BENCH_7.json
+	$(GO) run ./cmd/rambda-bench -quick -parallel $(PARALLEL) -sim-parallel 4 -out /tmp/BENCH_ci.json -baseline BENCH_8.json
 
 # CPU-profile one figure end to end, then open pprof. Usage:
 #   make profile FIG=fig8

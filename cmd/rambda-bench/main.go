@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_7.json
+//	go run ./cmd/rambda-bench -quick                 # figures + micro, write BENCH_8.json
 //	go run ./cmd/rambda-bench -skip-figures          # microbenchmarks only
-//	go run ./cmd/rambda-bench -quick -baseline BENCH_6.json
+//	go run ./cmd/rambda-bench -quick -baseline BENCH_7.json
 //	go run ./cmd/rambda-bench -quick -sim-parallel 4 # partitioned engine, 4 goroutines per sim
 //
 // With -baseline, the run fails (exit 1) when anything regresses:
@@ -53,6 +53,7 @@ import (
 
 	"rambda/internal/chainrep"
 	"rambda/internal/experiments"
+	"rambda/internal/lsm"
 	"rambda/internal/rnic"
 	"rambda/internal/runner"
 	"rambda/internal/scaleout"
@@ -107,13 +108,15 @@ var microKernels = []struct {
 	{"ChainFailoverReplay", func(n int) { chainrep.BenchFailoverReplay(n) }},
 	{"ShardRouteHotPath", func(n int) { scaleout.BenchShardRouteHotPath(n) }},
 	{"MigrationFailoverReplay", func(n int) { scaleout.BenchMigrationFailoverReplay(n) }},
+	{"LSMReadHotPath", func(n int) { lsm.BenchReadHotPath(n) }},
+	{"ScanMerge", func(n int) { lsm.BenchScanMerge(n) }},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "run figures at quick scale (mirrors rambda-figures -quick)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for figure sweep points")
 	simParallel := flag.Int("sim-parallel", 1, "goroutines per simulation for the partitioned engine and its pipelined streams")
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
 	only := flag.String("only", "", "time a single figure id (e.g. fig7)")
 	skipFigures := flag.Bool("skip-figures", false, "skip figure timings, run only the sim microbenchmarks")
 	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json to compare microbenchmarks against")

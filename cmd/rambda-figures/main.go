@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos, breakdown, scaleout, chaos-scaleout")
+	only := flag.String("only", "", "run a single experiment: fig1, fig5, fig7, fig8, fig9, fig10, fig12, fig13, tab3, scalability, chaos, breakdown, scaleout, chaos-scaleout, ycsb")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast pass")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
 	simParallel := flag.Int("sim-parallel", 1, "goroutines per simulation for the partitioned engine and its pipelined streams (1 = sequential; output is byte-identical for every value)")
@@ -42,6 +42,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the breakdown experiment's metrics registry as JSON to this file")
 	scaleoutMetricsOut := flag.String("scaleout-metrics-out", "", "write the scaleout sweep's per-point metrics registries as JSON to this file")
 	chaosScaleoutMetricsOut := flag.String("chaos-scaleout-metrics-out", "", "write the chaos-scaleout sweep's per-point metrics registries (scaleout + fault-layer gauges) as JSON to this file")
+	ycsbMetricsOut := flag.String("ycsb-metrics-out", "", "write the ycsb sweep's per-point storage-backend metrics registries as JSON to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -92,6 +93,7 @@ func main() {
 		MetricsOut:              *metricsOut,
 		ScaleoutMetricsOut:      *scaleoutMetricsOut,
 		ChaosScaleoutMetricsOut: *chaosScaleoutMetricsOut,
+		YCSBMetricsOut:          *ycsbMetricsOut,
 	})
 
 	var selected []experiments.Spec

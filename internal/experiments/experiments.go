@@ -57,6 +57,7 @@ type ObsPaths struct {
 	MetricsOut              string
 	ScaleoutMetricsOut      string
 	ChaosScaleoutMetricsOut string
+	YCSBMetricsOut          string
 }
 
 // StandardSpecsPaths is the full enumeration with every export path.
@@ -69,6 +70,7 @@ func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 	bd := DefaultBreakdownConfig()
 	sc := DefaultScaleoutConfig()
 	cso := DefaultChaosScaleoutConfig()
+	yc := DefaultYCSBConfig()
 	fig1Requests := 20000
 	if quick {
 		fig1Requests = 4000
@@ -86,10 +88,13 @@ func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 		sc.Requests = 4800
 		cso.Keys = 1 << 12
 		cso.Requests = 4000
+		yc.Keys = 1 << 13
+		yc.Requests = 4000
 	}
 	bd.TraceOut, bd.MetricsOut = paths.TraceOut, paths.MetricsOut
 	sc.MetricsOut = paths.ScaleoutMetricsOut
 	cso.MetricsOut = paths.ChaosScaleoutMetricsOut
+	yc.MetricsOut = paths.YCSBMetricsOut
 	// The chaos spec stays after the paper figures: figure goldens pin
 	// their print order, and non-paper experiments (chaos, breakdown,
 	// scaleout) append after them.
@@ -108,6 +113,7 @@ func StandardSpecsPaths(quick bool, paths ObsPaths) []Spec {
 		BreakdownSpec(bd),
 		ScaleoutSpec(sc),
 		ChaosScaleoutSpec(cso),
+		YCSBSpec(yc),
 	}
 }
 

@@ -15,9 +15,13 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpGet, Key: []byte("k")}))
 	f.Add(EncodeRequest(Request{Op: OpPut, Key: []byte("key"), Val: []byte("value")}))
 	f.Add(EncodeRequest(Request{Op: OpDelete, Key: bytes.Repeat([]byte{7}, 300)}))
+	f.Add(EncodeRequest(Request{Op: OpScan, Key: []byte("user"), ScanLimit: 16}))
+	f.Add(EncodeRequest(Request{Op: OpScan, Key: []byte("z"), ScanLimit: MaxScanLimit, Reverse: true}))
 	f.Add([]byte{})
 	f.Add([]byte{byte(OpPut), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // huge claimed lengths
 	f.Add([]byte{99, 0, 0, 0, 0, 0, 0})                            // unknown opcode
+	f.Add([]byte{byte(OpScan), 1, 0, 0, 0, 0, 'k'})                // zero scan limit
+	f.Add([]byte{byte(OpScan), 1, 0, 0xFF, 0xFF, 0, 'k'})          // limit over MaxScanLimit
 	f.Fuzz(func(t *testing.T, b []byte) {
 		r, err := DecodeRequest(b)
 		if err != nil {
@@ -25,6 +29,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		switch r.Op {
 		case OpGet, OpPut, OpDelete:
+		case OpScan:
+			if r.ScanLimit <= 0 || r.ScanLimit > MaxScanLimit {
+				t.Fatalf("accepted out-of-range scan limit %d", r.ScanLimit)
+			}
 		default:
 			t.Fatalf("accepted unknown opcode %d", r.Op)
 		}
@@ -54,6 +62,56 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 		if re := EncodeResponse(r); !bytes.Equal(re, b[:len(re)]) {
 			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+// scanFrame builds a well-formed scan response for the fuzz corpus.
+func scanFrame(status Status, kvs ...string) []byte {
+	var buf []byte
+	var pairs []ScanPair
+	for i := 0; i+1 < len(kvs); i += 2 {
+		off := len(buf)
+		buf = append(buf, kvs[i]...)
+		buf = append(buf, kvs[i+1]...)
+		pairs = append(pairs, ScanPair{KeyOff: off, KeyLen: len(kvs[i]), ValLen: len(kvs[i+1])})
+	}
+	return AppendScanResponse(nil, status, buf, pairs)
+}
+
+// FuzzDecodeScanResponse hammers the multi-pair parser: it must reject
+// truncated pairs, oversized counts, and trailing garbage without
+// panicking, and an accepted frame must re-encode byte-identically
+// through AppendScanResponse (proving the pair offsets are exact).
+func FuzzDecodeScanResponse(f *testing.F) {
+	f.Add(scanFrame(StatusOK))
+	f.Add(scanFrame(StatusOK, "k1", "v1"))
+	f.Add(scanFrame(StatusOK, "k1", "v1", "key-two", "value-two", "k3", ""))
+	f.Add(scanFrame(StatusNotFound, "", "v"))
+	f.Add([]byte{})
+	f.Add([]byte{byte(StatusOK), 0xFF, 0xFF, 0xFF, 0xFF})       // count 4 G pairs
+	f.Add([]byte{byte(StatusOK), 1, 0, 0, 0, 0, 0, 0xFF, 0xFF}) // truncated pair body
+	f.Add(append(scanFrame(StatusOK, "k", "v"), 0))             // trailing garbage
+	f.Fuzz(func(t *testing.T, b []byte) {
+		status, payload, pairs, err := DecodeScanResponse(b, nil)
+		if err != nil {
+			return
+		}
+		if len(pairs) > MaxScanLimit {
+			t.Fatalf("accepted %d pairs over the limit", len(pairs))
+		}
+		// Rebuild the flat key/val buffer from the decoded pairs and
+		// re-encode: byte-identity proves offsets and lengths are exact.
+		var buf []byte
+		re := make([]ScanPair, 0, len(pairs))
+		for _, p := range pairs {
+			off := len(buf)
+			buf = append(buf, p.Key(payload)...)
+			buf = append(buf, p.Val(payload)...)
+			re = append(re, ScanPair{KeyOff: off, KeyLen: p.KeyLen, ValLen: p.ValLen})
+		}
+		if enc := AppendScanResponse(nil, status, buf, re); !bytes.Equal(enc, b) {
+			t.Fatalf("re-encode mismatch: %x vs %x", enc, b)
 		}
 	})
 }

@@ -1,0 +1,99 @@
+package scaleout
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// TestClusterLSMBackendRoundTrip pins the backend selector: an
+// lsm-backed cluster serves the same put/get contract as the flat-store
+// default — values round-trip through every replica's memtable/sstable
+// tiers, updates win over preloads, and requests still cost time.
+func TestClusterLSMBackendRoundTrip(t *testing.T) {
+	cfg := testClusterConfig()
+	cfg.Backend = "lsm"
+	cfg.RebalanceEvery = 0
+	c := New(cfg)
+	const keys = 64
+	now := preloadN(c, keys)
+	fe := c.NewFrontend()
+	var key []byte
+	val := make([]byte, 46)
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		got, done := fe.Get(now, key)
+		if done <= now {
+			t.Fatalf("key %d: completion %v not after issue %v", i, done, now)
+		}
+		if v := binary.LittleEndian.Uint64(got); v != uint64(i) {
+			t.Fatalf("key %d: read %d after preload", i, v)
+		}
+		now = done
+	}
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		binary.LittleEndian.PutUint64(val, uint64(i+1000))
+		now = fe.Put(now, key, val)
+	}
+	for i := 0; i < keys; i++ {
+		key = appendBenchKey(key[:0], i)
+		got, done := fe.Get(now, key)
+		if v := binary.LittleEndian.Uint64(got); v != uint64(i+1000) {
+			t.Fatalf("key %d: read %d after put of %d", i, v, i+1000)
+		}
+		now = done
+	}
+}
+
+// TestClusterLSMBackendDeterministic runs the skewed migration workload
+// on the lsm backend twice: stats and latency distribution must match
+// exactly — flush and compaction timing is part of the simulation, not
+// noise.
+func TestClusterLSMBackendDeterministic(t *testing.T) {
+	run := func() (Stats, string) {
+		cfg := testClusterConfig()
+		cfg.Backend = "lsm"
+		c := New(cfg)
+		const keys = 256
+		now := preloadN(c, keys)
+		fe := c.NewFrontend()
+		var key []byte
+		val := make([]byte, 46)
+		for i := 0; i < 1500; i++ {
+			k := i % keys
+			if i%10 < 7 {
+				k = i % 4
+			}
+			key = appendBenchKey(key[:0], k)
+			if i%2 == 0 {
+				binary.LittleEndian.PutUint64(val, uint64(i))
+				now = fe.Put(now, key, val)
+			} else {
+				_, done := fe.Get(now, key)
+				now = done
+			}
+		}
+		return c.Stats(), c.MergedLatency().String()
+	}
+	st1, h1 := run()
+	st2, h2 := run()
+	if fmt.Sprintf("%+v", st1) != fmt.Sprintf("%+v", st2) {
+		t.Fatalf("same workload, different stats:\n%+v\n%+v", st1, st2)
+	}
+	if h1 != h2 {
+		t.Fatalf("same workload, different latency distribution:\n%s\n%s", h1, h2)
+	}
+}
+
+// TestClusterUnknownBackendPanics pins the config contract loudly.
+func TestClusterUnknownBackendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown backend did not panic")
+		}
+	}()
+	cfg := testClusterConfig()
+	cfg.Backend = "btree"
+	New(cfg)
+}

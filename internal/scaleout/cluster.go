@@ -7,6 +7,7 @@ import (
 	"rambda/internal/chainrep"
 	"rambda/internal/fault"
 	"rambda/internal/kvs"
+	"rambda/internal/lsm"
 	"rambda/internal/memdev"
 	"rambda/internal/memspace"
 	"rambda/internal/obs"
@@ -33,6 +34,13 @@ type Config struct {
 	SlotsPerShard int
 	SlotBytes     int
 	LogEntries    int
+
+	// Backend selects each replica's storage engine: "" or "flat" is the
+	// flat NVM store (the chainrep default), "lsm" puts a tiered LSM tree
+	// (DRAM memtable + NVM sstables, internal/lsm) under every replica —
+	// same chain protocol, same slot addressing, but writes absorb in the
+	// memtable and background flush/compaction charges the replica's NVM.
+	Backend string
 
 	// Seed places the ring's virtual nodes.
 	Seed uint64
@@ -146,8 +154,26 @@ type Shard struct {
 	wr [1]chainrep.Tuple
 }
 
+// shardLSMConfig sizes a replica's LSM tree from the shard's data
+// footprint: the memtable absorbs ~1/16 of the working set before a
+// flush, L0 bounds at 4 runs.
+func shardLSMConfig(dataBytes uint64) lsm.Config {
+	mt := int(dataBytes / 16)
+	if mt < 16<<10 {
+		mt = 16 << 10
+	}
+	return lsm.Config{
+		MemtableBytes: mt,
+		L0Runs:        4,
+		SSTableBytes:  8 << 20,
+		WALBytes:      1 << 20,
+		MaxLevels:     4,
+	}
+}
+
 // newShard builds shard i's chain: Replicas fresh machines, each with
-// its own memory system, NVM store, and redo log.
+// its own memory system, storage backend (flat NVM store or tiered LSM
+// tree, per Config.Backend), and redo log.
 func newShard(i int, cfg Config) *Shard {
 	ch := &chainrep.Chain{
 		ClientOneWay: cfg.ClientOneWay,
@@ -165,9 +191,19 @@ func newShard(i int, cfg Config) *Shard {
 			NVM:   memdev.NewNVM(name+":nvm", 6, 39e9, 300*sim.Nanosecond, 3),
 			LLC:   memdev.NewLLC(name+":llc", 300e9, 20*sim.Nanosecond),
 		}
-		ch.Nodes = append(ch.Nodes, chainrep.NewNode(space, mem, chainrep.NodeConfig{
+		nodeCfg := chainrep.NodeConfig{
 			Name: name, ProcDelay: cfg.ProcDelay, PerTupleDelay: cfg.PerTupleDelay,
-		}, dataBytes, cfg.LogEntries, entrySize))
+		}
+		switch cfg.Backend {
+		case "", "flat":
+			ch.Nodes = append(ch.Nodes, chainrep.NewNode(space, mem, nodeCfg,
+				dataBytes, cfg.LogEntries, entrySize))
+		case "lsm":
+			ch.Nodes = append(ch.Nodes, chainrep.NewNodeLSM(space, mem, nodeCfg,
+				shardLSMConfig(dataBytes), cfg.LogEntries, entrySize))
+		default:
+			panic(fmt.Sprintf("scaleout: unknown backend %q", cfg.Backend))
+		}
 	}
 	return &Shard{
 		id:        i,

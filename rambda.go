@@ -30,6 +30,8 @@ import (
 	"rambda/internal/core"
 	"rambda/internal/cpoll"
 	"rambda/internal/hostcpu"
+	"rambda/internal/kvs"
+	"rambda/internal/lsm"
 	"rambda/internal/memspace"
 	"rambda/internal/obs"
 	"rambda/internal/sim"
@@ -195,6 +197,72 @@ func DialCPU(cm *Machine, s *CPUServer, idx int) *CPUClient {
 	return core.ConnectCPUClient(cm, s, idx)
 }
 
+// Storage backends. Every serving scenario talks to its storage engine
+// through StorageBackend (the kvs.Backend contract): backends execute
+// the operation against the simulated address space and append one
+// MemAccess per touch to the caller's trace, which the APU replays
+// through its coherent datapath so DRAM/NVM bandwidth is charged by
+// address kind. Two engines ship: the MICA-style hash index (KVStore)
+// and the tiered LSM tree (LSMTree) with MVCC snapshots and key-ordered
+// range scans. DispatchRequest routes a decoded wire request to either.
+type (
+	// StorageBackend is the pluggable KVS storage engine interface.
+	StorageBackend = kvs.Backend
+	// KVStore is the MICA-style hash index over DRAM or NVM.
+	KVStore = kvs.Store
+	// KVStoreConfig sizes a KVStore.
+	KVStoreConfig = kvs.Config
+	// LSMTree is the tiered storage engine: DRAM memtable + NVM
+	// sstables, WAL-durable, MVCC snapshot reads, merged range scans.
+	LSMTree = lsm.DB
+	// LSMConfig sizes an LSMTree.
+	LSMConfig = lsm.Config
+	// LSMSnapshot is a pinned read view: its Get/Scan results are frozen
+	// at pin time, unaffected by later writes, flushes, or compactions.
+	LSMSnapshot = lsm.Snapshot
+	// MemAccess is one traced memory touch (address, bytes, direction).
+	MemAccess = kvs.Access
+	// KVRequest is a decoded wire request.
+	KVRequest = kvs.Request
+	// KVResponse is a wire response.
+	KVResponse = kvs.Response
+	// KVScratch is a worker's reusable request-path buffer set.
+	KVScratch = kvs.Scratch
+	// KVScanPair locates one key/value pair in a flat scan buffer.
+	KVScanPair = kvs.ScanPair
+)
+
+// Wire opcodes and statuses.
+const (
+	OpGet    = kvs.OpGet
+	OpPut    = kvs.OpPut
+	OpDelete = kvs.OpDelete
+	// OpScan visits up to MaxScanLimit pairs from a start key; its
+	// response travels through the multi-pair scan codec.
+	OpScan         = kvs.OpScan
+	MaxScanLimit   = kvs.MaxScanLimit
+	StatusOK       = kvs.StatusOK
+	StatusNotFound = kvs.StatusNotFound
+	StatusError    = kvs.StatusError
+)
+
+// NewKVStore allocates a hash store in a machine's address space.
+func NewKVStore(space *memspace.Space, cfg KVStoreConfig) *KVStore {
+	return kvs.New(space, cfg)
+}
+
+// OpenLSM opens a fresh LSM tree on a machine's memory system (the
+// machine must have NVM: MachineConfig.WithNVM).
+func OpenLSM(m *Machine, cfg LSMConfig) *LSMTree {
+	return lsm.Open(m.Space, m.Mem, cfg)
+}
+
+// DispatchRequest executes a decoded request against any storage
+// backend using the scratch's buffers (kvs.ApplyScratch).
+func DispatchRequest(b StorageBackend, r KVRequest, sc *KVScratch) (KVResponse, []MemAccess) {
+	return kvs.ApplyScratch(b, r, sc)
+}
+
 // Observability. Attach a Tracer and/or Metrics registry through
 // ServerOptions (Trace, Metrics fields) before NewServer; both are
 // virtual-time collectors, so a run with a collector attached produces
@@ -217,13 +285,15 @@ type (
 
 // Pipeline stages for spans.
 const (
-	StageNIC     = obs.StageNIC
-	StageWire    = obs.StageWire
-	StageRing    = obs.StageRing
-	StageNotify  = obs.StageNotify
-	StageCompute = obs.StageCompute
-	StageMemory  = obs.StageMemory
-	StageOther   = obs.StageOther
+	StageNIC        = obs.StageNIC
+	StageWire       = obs.StageWire
+	StageRing       = obs.StageRing
+	StageNotify     = obs.StageNotify
+	StageCompute    = obs.StageCompute
+	StageMemory     = obs.StageMemory
+	StageScan       = obs.StageScan
+	StageCompaction = obs.StageCompaction
+	StageOther      = obs.StageOther
 )
 
 // NewTracer creates an empty span collector.
